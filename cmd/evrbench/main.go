@@ -1,0 +1,93 @@
+// Command evrbench regenerates every table and figure of the paper's
+// evaluation and prints them with the paper-reported values attached.
+//
+// Usage:
+//
+//	evrbench [-users N] [-fig ID]
+//
+// With -fig, only the named experiment runs (e.g. -fig "Fig 12"); the
+// default runs everything in paper order. -users controls the head-trace
+// population (default 59, the full corpus; smaller is faster).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"evr/internal/experiments"
+	"evr/internal/headtrace"
+)
+
+func main() {
+	users := flag.Int("users", headtrace.DatasetUsers, "head traces per video")
+	fig := flag.String("fig", "", "run only the experiment with this ID (e.g. 'Fig 12')")
+	ablations := flag.Bool("ablations", false, "also run the ablation studies (Abl 1-7, Cmp 1)")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	mdPath := flag.String("md", "", "also write a full markdown report to this file")
+	flag.Parse()
+	if *users < 1 {
+		fmt.Fprintln(os.Stderr, "evrbench: -users must be ≥ 1")
+		os.Exit(2)
+	}
+	start := time.Now()
+	tables := experiments.All(*users)
+	lowFig := strings.ToLower(*fig)
+	if *ablations || strings.HasPrefix(lowFig, "abl") || strings.HasPrefix(lowFig, "cmp") {
+		tables = append(tables, experiments.Ablations(*users)...)
+	}
+	matched := false
+	for _, tb := range tables {
+		if *fig != "" && !strings.EqualFold(tb.ID, *fig) {
+			continue
+		}
+		matched = true
+		fmt.Println(tb.String())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tb); err != nil {
+				fmt.Fprintf(os.Stderr, "evrbench: writing CSV: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *fig != "" && !matched {
+		fmt.Fprintf(os.Stderr, "evrbench: no experiment with ID %q; available:\n", *fig)
+		for _, tb := range tables {
+			fmt.Fprintf(os.Stderr, "  %s\n", tb.ID)
+		}
+		os.Exit(2)
+	}
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evrbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteReport(f, *users, *ablations); err != nil {
+			fmt.Fprintf(os.Stderr, "evrbench: writing report: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote markdown report %s\n", *mdPath)
+	}
+	fmt.Printf("regenerated in %v with %d users/video\n", time.Since(start).Round(time.Millisecond), *users)
+}
+
+// writeCSV writes one table into dir/<stem>.csv.
+func writeCSV(dir string, tb experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tb.FileStem()+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	return w.WriteAll(tb.CSV())
+}

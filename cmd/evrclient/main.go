@@ -1,0 +1,60 @@
+// Command evrclient plays a video from an EVR server, replaying a synthetic
+// user's head trace, and reports the playback statistics: FOV hits, misses,
+// fallbacks, fetched bytes, and PTE-rendered frames.
+//
+// Usage:
+//
+//	evrclient [-url http://localhost:8090] [-video RS] [-user 0] [-segments 4] [-har]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"evr/internal/client"
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/scene"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8090", "EVR server base URL")
+	video := flag.String("video", "RS", "video name")
+	user := flag.Int("user", 0, "user index for the head trace")
+	segments := flag.Int("segments", 4, "segments to play (0 = all available)")
+	har := flag.Bool("har", true, "render FOV misses on the PTE accelerator")
+	flag.Parse()
+
+	v, ok := scene.ByName(*video)
+	if !ok {
+		log.Fatalf("unknown video %q", *video)
+	}
+	p := client.NewPlayer(*url)
+	p.UseHAR = *har
+	imu := hmd.NewIMU(headtrace.Generate(v, *user))
+
+	start := time.Now()
+	stats, frames, err := p.Play(*video, imu, *segments)
+	if err != nil {
+		log.Fatalf("playback failed: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("played %s (user %d) through %s\n", *video, *user, *url)
+	fmt.Printf("  frames:        %d (%d displayed)\n", stats.Frames, len(frames))
+	fmt.Printf("  FOV hits:      %d (%.1f%%)\n", stats.Hits, 100*float64(stats.Hits)/float64(max(1, stats.Frames)))
+	fmt.Printf("  FOV misses:    %d\n", stats.Misses)
+	fmt.Printf("  fallbacks:     %d segments\n", stats.Fallbacks)
+	fmt.Printf("  PTE frames:    %d\n", stats.PTEFrames)
+	fmt.Printf("  bytes fetched: %d\n", stats.BytesFetched)
+	fmt.Printf("  wall time:     %v\n", elapsed.Round(time.Millisecond))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,83 @@
+// Command evrgen emits the synthetic dataset: the video catalog (object
+// counts, trajectories, complexity) as JSON, and per-user head-movement
+// traces as CSV, mirroring the layout of the head-trace corpus the paper
+// replays.
+//
+// Usage:
+//
+//	evrgen [-out dataset/] [-users 59] [-videos all]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"evr/internal/headtrace"
+	"evr/internal/scene"
+)
+
+func main() {
+	out := flag.String("out", "dataset", "output directory")
+	users := flag.Int("users", headtrace.DatasetUsers, "users per video")
+	videos := flag.String("videos", "all", "comma-separated names or 'all'")
+	flag.Parse()
+
+	var specs []scene.VideoSpec
+	if *videos == "all" {
+		specs = scene.Catalog()
+	} else {
+		for _, name := range strings.Split(*videos, ",") {
+			v, ok := scene.ByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("unknown video %q", name)
+			}
+			specs = append(specs, v)
+		}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	// Catalog description.
+	catPath := filepath.Join(*out, "catalog.json")
+	f, err := os.Create(catPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(specs); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	log.Printf("wrote %s", catPath)
+
+	// Per-user traces.
+	for _, v := range specs {
+		dir := filepath.Join(*out, v.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for u := 0; u < *users; u++ {
+			tr := headtrace.Generate(v, u)
+			path := filepath.Join(dir, fmt.Sprintf("user%02d.csv", u))
+			if err := writeTrace(path, tr); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("wrote %d traces for %s", *users, v.Name)
+	}
+}
+
+func writeTrace(path string, tr headtrace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return headtrace.WriteCSV(f, tr)
+}

@@ -1,0 +1,155 @@
+// Command evrplot regenerates the paper's figures as standalone SVG charts
+// (no external tooling): bar charts for the energy comparisons and line
+// charts for the curves.
+//
+// Usage:
+//
+//	evrplot [-out figures] [-users 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"evr/internal/experiments"
+	"evr/internal/plot"
+	"evr/internal/scene"
+)
+
+func main() {
+	out := flag.String("out", "figures", "output directory for SVGs")
+	users := flag.Int("users", 20, "head traces per video")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	write := func(name string, svg string, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", path)
+	}
+
+	// Fig 3a: per-component power split per video (grouped bars).
+	fig3a := experiments.Fig3a(*users)
+	c := chartFromTable(fig3a, "Fig 3a: device power split (percent)", "% of device energy", []int{2, 3, 4, 5, 6})
+	svg, err := c.StackedBarSVG(720, 360)
+	write("fig03a.svg", svg, err)
+
+	// Fig 5: coverage curves, one SVG per video (curves differ in length).
+	for _, v := range scene.EvalSet() {
+		curve := experiments.Fig5Curve(v.Name, *users)
+		labels := make([]string, len(curve))
+		for i := range labels {
+			labels[i] = strconv.Itoa(i + 1)
+		}
+		lc := plot.Chart{
+			Title: fmt.Sprintf("Fig 5: %s — frames covered by top-x objects", v.Name), YLabel: "% of frames",
+			XLabels: labels,
+			Series:  []plot.Series{{Name: v.Name, Y: curve}},
+		}
+		svg, err := lc.LineSVG(560, 320)
+		write(fmt.Sprintf("fig05_%s.svg", strings.ToLower(v.Name)), svg, err)
+	}
+
+	// Fig 6: tracking-duration CDFs (one line per video).
+	fig6 := experiments.Fig6(*users)
+	c = chartFromTable(fig6, "Fig 6: tracking-duration CDF", "% of tracked time", []int{1, 2, 3, 4, 5})
+	c = transpose(c, []string{"≥1s", "≥2s", "≥3s", "≥4s", "≥5s"})
+	svg, err = c.LineSVG(640, 360)
+	write("fig06.svg", svg, err)
+
+	// Fig 12: compute-energy savings per variant (grouped bars).
+	fig12 := experiments.Fig12(*users)
+	c = chartFromTable(fig12, "Fig 12: compute+memory energy savings", "% saving", []int{1, 2, 3})
+	svg, err = c.BarSVG(720, 360)
+	write("fig12.svg", svg, err)
+
+	// Fig 14: storage overhead vs device saving (scatter-as-lines per video).
+	fig14 := experiments.Fig14(*users)
+	videos := map[string]*plot.Series{}
+	var order []string
+	for _, row := range fig14.Rows {
+		s, ok := videos[row[0]]
+		if !ok {
+			s = &plot.Series{Name: row[0]}
+			videos[row[0]] = s
+			order = append(order, row[0])
+		}
+		s.Y = append(s.Y, parseNum(row[3]))
+	}
+	lc := plot.Chart{
+		Title: "Fig 14: device saving vs object utilization", YLabel: "% device saving",
+		XLabels: []string{"25%", "50%", "75%", "100%"},
+	}
+	for _, name := range order {
+		lc.Series = append(lc.Series, *videos[name])
+	}
+	svg, err = lc.LineSVG(640, 360)
+	write("fig14.svg", svg, err)
+
+	// Fig 16: HMP comparison (grouped bars).
+	fig16 := experiments.Fig16(*users)
+	c = chartFromTable(fig16, "Fig 16: S+H vs head-motion prediction", "% device saving", []int{1, 2, 3})
+	svg, err = c.BarSVG(720, 360)
+	write("fig16.svg", svg, err)
+
+	// Fig 17: quality-assessment reduction vs resolution (lines).
+	fig17 := experiments.Fig17()
+	c = chartFromTable(fig17, "Fig 17: PTE energy reduction in quality assessment", "% reduction", []int{1, 2, 3})
+	svg, err = c.LineSVG(640, 360)
+	write("fig17.svg", svg, err)
+}
+
+// chartFromTable builds a chart with one x position per table row (column 0
+// as the label) and one series per selected column.
+func chartFromTable(tb experiments.Table, title, ylabel string, cols []int) plot.Chart {
+	c := plot.Chart{Title: title, YLabel: ylabel}
+	for _, row := range tb.Rows {
+		c.XLabels = append(c.XLabels, row[0])
+	}
+	for _, col := range cols {
+		s := plot.Series{Name: tb.Header[col]}
+		for _, row := range tb.Rows {
+			s.Y = append(s.Y, parseNum(row[col]))
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// transpose flips rows/columns: each original x position becomes a series
+// and each original series becomes an x position (named by newLabels, which
+// must match the original series count).
+func transpose(c plot.Chart, newLabels []string) plot.Chart {
+	out := plot.Chart{Title: c.Title, YLabel: c.YLabel, XLabels: newLabels}
+	for xi, label := range c.XLabels {
+		s := plot.Series{Name: label}
+		for _, orig := range c.Series {
+			s.Y = append(s.Y, orig.Y[xi])
+		}
+		out.Series = append(out.Series, s)
+	}
+	return out
+}
+
+// parseNum strips unit suffixes and parses the remainder.
+func parseNum(cell string) float64 {
+	cell = strings.TrimSuffix(cell, "%")
+	cell = strings.TrimSuffix(cell, "x")
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+// Command evrserver runs the EVR cloud component: it ingests synthetic 360°
+// videos through the full pixel pipeline (render → detect → track → cluster
+// → pre-render FOV videos → encode → SAS store) and serves them over HTTP.
+//
+// Usage:
+//
+//	evrserver [-addr :8090] [-videos RS,Timelapse] [-segments 4] [-width 192]
+//
+// Endpoints: /videos, /v/{video}/manifest, /v/{video}/orig/{seg},
+// /v/{video}/fov/{seg}/{cluster}, /v/{video}/fovmeta/{seg}/{cluster}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	videos := flag.String("videos", "RS", "comma-separated catalog videos to ingest")
+	segments := flag.Int("segments", 4, "temporal segments to ingest per video (0 = all)")
+	live := flag.Bool("live", false, "live-streaming mode: no ingest analysis, no FOV videos (§8.3)")
+	width := flag.Int("width", 192, "panoramic ingest width (height = width/2)")
+	snapshot := flag.String("snapshot", "", "persist the SAS store to this file (loaded on start, saved after ingest)")
+	flag.Parse()
+
+	cfg := server.DefaultIngestConfig()
+	cfg.FullW = *width - *width%8
+	cfg.FullH = cfg.FullW / 2
+	cfg.MaxSegments = *segments
+	cfg.LiveMode = *live
+
+	st := store.New()
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			if _, err := st.ReadFrom(f); err != nil {
+				log.Fatalf("loading snapshot: %v", err)
+			}
+			f.Close()
+			log.Printf("loaded store snapshot %s (%s)", *snapshot, byteSize(st.DataBytes()))
+		}
+	}
+	svc := server.NewService(st)
+	for _, name := range strings.Split(*videos, ",") {
+		name = strings.TrimSpace(name)
+		v, ok := scene.ByName(name)
+		if !ok {
+			log.Fatalf("unknown video %q (catalog: Elephant, Paris, RS, NYC, Rhino, Timelapse)", name)
+		}
+		start := time.Now()
+		man, err := svc.IngestVideo(v, cfg)
+		if err != nil {
+			log.Fatalf("ingesting %s: %v", name, err)
+		}
+		var fovVideos int
+		for _, s := range man.Segments {
+			fovVideos += len(s.Clusters)
+		}
+		log.Printf("ingested %s: %d segments, %d FOV videos, %s store, %v",
+			name, len(man.Segments), fovVideos, byteSize(svc.Store().DataBytes()), time.Since(start).Round(time.Millisecond))
+	}
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			log.Fatalf("creating snapshot: %v", err)
+		}
+		if _, err := svc.Store().WriteTo(f); err != nil {
+			log.Fatalf("writing snapshot: %v", err)
+		}
+		f.Close()
+		log.Printf("saved store snapshot %s", *snapshot)
+	}
+	log.Printf("EVR server listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,91 @@
+// Command evrtrace analyzes a dataset directory produced by cmd/evrgen: it
+// reads the head-trace CSVs back, recomputes the behavioral statistics of
+// §5.1 (object coverage, tracking-duration CDF) from the files, and prints
+// them — the round-trip validation that the exported dataset carries
+// everything the paper's characterization needs.
+//
+// Usage:
+//
+//	evrgen  -out dataset -users 10
+//	evrtrace -in dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/scene"
+)
+
+func main() {
+	in := flag.String("in", "dataset", "dataset directory written by evrgen")
+	flag.Parse()
+
+	entries, err := os.ReadDir(*in)
+	if err != nil {
+		log.Fatalf("reading dataset: %v", err)
+	}
+	vp := hmd.OSVRHDK2().Viewport()
+	var videos []string
+	for _, e := range entries {
+		if e.IsDir() {
+			videos = append(videos, e.Name())
+		}
+	}
+	sort.Strings(videos)
+	if len(videos) == 0 {
+		log.Fatalf("no per-video trace directories under %s", *in)
+	}
+	fmt.Printf("%-10s %6s %10s %10s %10s\n", "video", "users", "cov(x=1)", "cov(all)", "≥5s share")
+	for _, name := range videos {
+		v, ok := scene.ByName(name)
+		if !ok {
+			log.Printf("skipping %s: not in the catalog", name)
+			continue
+		}
+		traces, err := loadTraces(filepath.Join(*in, name), v)
+		if err != nil {
+			log.Fatalf("loading %s: %v", name, err)
+		}
+		if len(traces) == 0 {
+			log.Printf("skipping %s: no traces", name)
+			continue
+		}
+		curve := headtrace.CoverageCurve(v, traces, vp)
+		cdf := headtrace.TrackingCDF(v, traces, 0.35, []float64{5})
+		fmt.Printf("%-10s %6d %9.1f%% %9.1f%% %9.1f%%\n",
+			name, len(traces), curve[0], curve[len(curve)-1], cdf[0])
+	}
+}
+
+// loadTraces reads every user CSV of one video directory.
+func loadTraces(dir string, v scene.VideoSpec) ([]headtrace.Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var traces []headtrace.Trace
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		tr, err := headtrace.ReadCSV(f, v.Name, v.FPS, len(traces))
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}

@@ -1,0 +1,175 @@
+// Package evr is the public API of this repository: a full reproduction of
+// "Energy-Efficient Video Processing for Virtual Reality" (Leng, Chen, Sun,
+// Huang, Zhu — ISCA 2019).
+//
+// EVR attacks the "VR tax" — the projective transformation (PT) every 360°
+// video frame pays before display — with two primitives:
+//
+//   - Semantic-Aware Streaming (SAS): the cloud detects and clusters the
+//     visual objects users track, pre-renders per-cluster FOV videos, and
+//     streams those; a FOV hit displays directly with no PT on device.
+//   - Hardware-Accelerated Rendering (HAR): a fixed-point Projective
+//     Transformation Engine (PTE) replaces the GPU for on-device PT.
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//	sys := evr.NewSystem()
+//	video, _ := evr.VideoByName("Rhino")
+//	sys.Prepare(video)
+//	base, _ := sys.Evaluate("Rhino", evr.Baseline, evr.OnlineStreaming, evr.EvaluateOptions{Users: 10})
+//	both, _ := sys.Evaluate("Rhino", evr.SH, evr.OnlineStreaming, evr.EvaluateOptions{Users: 10})
+//	fmt.Printf("S+H saves %.0f%% device energy\n", both.DeviceSavingPct(base))
+//
+// Deeper layers (the PTE simulator, the codec, the HTTP streaming service,
+// the pixel-exact player) are exposed through their own types below.
+package evr
+
+import (
+	"evr/internal/abr"
+	"evr/internal/capture"
+	"evr/internal/client"
+	"evr/internal/core"
+	"evr/internal/experiments"
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/pte"
+	"evr/internal/quality"
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+// System orchestration.
+type (
+	// System is an end-to-end EVR deployment (cloud analysis + device).
+	System = core.System
+	// Summary aggregates an evaluation run over a user population.
+	Summary = core.Summary
+	// EvaluateOptions tunes an evaluation run.
+	EvaluateOptions = core.EvaluateOptions
+)
+
+// NewSystem returns a system at the paper's default design point.
+func NewSystem() *System { return core.NewSystem() }
+
+// Device variants and use-cases (§8.1).
+type (
+	// Variant selects which EVR primitives are active.
+	Variant = client.Variant
+	// UseCase selects the deployment scenario.
+	UseCase = client.UseCase
+)
+
+const (
+	// Baseline is today's pipeline: full streaming + GPU PT.
+	Baseline = client.Baseline
+	// S enables semantic-aware streaming only.
+	S = client.S
+	// H enables hardware-accelerated rendering only.
+	H = client.H
+	// SH combines both primitives.
+	SH = client.SH
+
+	// OnlineStreaming plays published content from an EVR server.
+	OnlineStreaming = client.OnlineStreaming
+	// LiveStreaming plays a live feed (SAS unavailable).
+	LiveStreaming = client.LiveStreaming
+	// OfflinePlayback plays from local storage (no network).
+	OfflinePlayback = client.OfflinePlayback
+)
+
+// Content and traces.
+type (
+	// VideoSpec is a synthetic 360° video with ground-truth objects.
+	VideoSpec = scene.VideoSpec
+	// Trace is one user's head movement over one video.
+	Trace = headtrace.Trace
+)
+
+// Videos returns the full synthetic stand-in catalog for the paper's
+// video set.
+func Videos() []VideoSpec { return scene.Catalog() }
+
+// VideoByName looks up one catalog video.
+func VideoByName(name string) (VideoSpec, bool) { return scene.ByName(name) }
+
+// GenerateTrace produces the deterministic head trace of one user.
+func GenerateTrace(v VideoSpec, user int) Trace { return headtrace.Generate(v, user) }
+
+// DatasetUsers is the size of the modeled user corpus (59, as in the paper).
+const DatasetUsers = headtrace.DatasetUsers
+
+// Hardware.
+type (
+	// PTE is the Projective Transformation Engine simulator.
+	PTE = pte.Engine
+	// PTEConfig is its register file.
+	PTEConfig = pte.Config
+	// HMD describes a head-mounted display.
+	HMD = hmd.Config
+)
+
+// NewPTE builds a PTE engine.
+func NewPTE(cfg PTEConfig) (*PTE, error) { return pte.New(cfg) }
+
+// OSVRHDK2 returns the paper's evaluation HMD.
+func OSVRHDK2() HMD { return hmd.OSVRHDK2() }
+
+// IMU replays a head trace as per-frame sensor readings.
+type IMU = hmd.IMU
+
+// NewIMU wraps a trace for replay.
+func NewIMU(trace Trace) *IMU { return hmd.NewIMU(trace) }
+
+// Streaming service and pixel-exact playback.
+type (
+	// Service is the EVR cloud streaming server.
+	Service = server.Service
+	// IngestConfig parameterizes the pixel ingest pipeline.
+	IngestConfig = server.IngestConfig
+	// Player is the HTTP playback client.
+	Player = client.Player
+	// Store is the log-structured SAS store.
+	Store = store.Store
+)
+
+// NewService returns a streaming service over a fresh store.
+func NewService() *Service { return server.NewService(store.New()) }
+
+// DefaultIngestConfig returns a test-scale ingest pipeline configuration.
+func DefaultIngestConfig() IngestConfig { return server.DefaultIngestConfig() }
+
+// NewPlayer returns a playback client for an EVR server URL.
+func NewPlayer(baseURL string) *Player { return client.NewPlayer(baseURL) }
+
+// Quality assessment (§8.6).
+type (
+	// Assessor scores panoramic video by projecting to viewer perspectives.
+	Assessor = quality.Assessor
+	// QualityReport holds the per-view and mean PSNR/SSIM scores.
+	QualityReport = quality.Report
+)
+
+// Production-side and delivery extensions.
+type (
+	// Rig is a multi-camera capture assembly (Fig. 1 left half).
+	Rig = capture.Rig
+	// Ladder is an adaptive-bitrate quality ladder.
+	Ladder = abr.Ladder
+)
+
+// SixCameraRig returns the canonical cube capture rig.
+func SixCameraRig(sensorRes int) Rig { return capture.SixCameraRig(sensorRes) }
+
+// DefaultLadder returns the three-rung ABR ladder.
+func DefaultLadder() Ladder { return abr.DefaultLadder() }
+
+// ExperimentTable is one regenerated paper table/figure.
+type ExperimentTable = experiments.Table
+
+// RunExperiments regenerates every paper table and figure at the given
+// user-population size (the full corpus is DatasetUsers).
+func RunExperiments(users int) []ExperimentTable { return experiments.All(users) }
+
+// RunAblations runs the beyond-paper ablation studies and comparisons.
+func RunAblations(users int) []ExperimentTable { return experiments.Ablations(users) }

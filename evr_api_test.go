@@ -1,0 +1,128 @@
+package evr_test
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"evr"
+)
+
+// TestPublicAPIEvaluation drives the facade the way a downstream user
+// would: prepare, evaluate, compare.
+func TestPublicAPIEvaluation(t *testing.T) {
+	sys := evr.NewSystem()
+	video, ok := evr.VideoByName("Timelapse")
+	if !ok {
+		t.Fatal("catalog missing Timelapse")
+	}
+	if err := sys.Prepare(video); err != nil {
+		t.Fatal(err)
+	}
+	opts := evr.EvaluateOptions{Users: 3}
+	base, err := sys.Evaluate("Timelapse", evr.Baseline, evr.OnlineStreaming, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := sys.Evaluate("Timelapse", evr.SH, evr.OnlineStreaming, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if save := both.DeviceSavingPct(base); save < 15 || save > 50 {
+		t.Errorf("facade device saving = %.1f%%", save)
+	}
+}
+
+// TestPublicAPICatalog checks the dataset surface.
+func TestPublicAPICatalog(t *testing.T) {
+	if len(evr.Videos()) != 6 {
+		t.Errorf("catalog has %d videos", len(evr.Videos()))
+	}
+	if evr.DatasetUsers != 59 {
+		t.Error("user corpus size changed")
+	}
+	v, _ := evr.VideoByName("RS")
+	tr := evr.GenerateTrace(v, 7)
+	if len(tr.Samples) != v.Frames() {
+		t.Error("trace length mismatch")
+	}
+	imu := evr.NewIMU(tr)
+	if imu.Frames() != len(tr.Samples) {
+		t.Error("IMU frames mismatch")
+	}
+}
+
+// TestPublicAPIStreamingLoop exercises service + player through the facade.
+func TestPublicAPIStreamingLoop(t *testing.T) {
+	video, _ := evr.VideoByName("RS")
+	cfg := evr.DefaultIngestConfig()
+	cfg.FullW, cfg.FullH = 96, 48
+	cfg.FOVW, cfg.FOVH = 32, 32
+	cfg.MaxSegments = 1
+	cfg.Codec.SearchRange = 1
+	svc := evr.NewService()
+	if _, err := svc.IngestVideo(video, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	p := evr.NewPlayer(ts.URL)
+	stats, frames, err := p.Play("RS", evr.NewIMU(evr.GenerateTrace(video, 0)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames != 30 || len(frames) != 30 {
+		t.Fatalf("played %d frames", stats.Frames)
+	}
+}
+
+// TestPublicAPIPTE exercises the accelerator surface.
+func TestPublicAPIPTE(t *testing.T) {
+	hmdCfg := evr.OSVRHDK2()
+	if hmdCfg.DisplayW != 2560 {
+		t.Error("HMD config wrong")
+	}
+}
+
+// ExampleNewSystem demonstrates the headline evaluation in a few lines.
+func ExampleNewSystem() {
+	sys := evr.NewSystem()
+	video, _ := evr.VideoByName("Rhino")
+	if err := sys.Prepare(video); err != nil {
+		panic(err)
+	}
+	opts := evr.EvaluateOptions{Users: 2}
+	base, _ := sys.Evaluate("Rhino", evr.Baseline, evr.OnlineStreaming, opts)
+	both, _ := sys.Evaluate("Rhino", evr.SH, evr.OnlineStreaming, opts)
+	fmt.Printf("S+H saves energy: %v\n", both.DeviceSavingPct(base) > 20)
+	// Output: S+H saves energy: true
+}
+
+// TestPublicAPIExperiments drives the experiment surface.
+func TestPublicAPIExperiments(t *testing.T) {
+	tables := evr.RunExperiments(2)
+	if len(tables) != 13 {
+		t.Fatalf("RunExperiments returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.String() == "" {
+			t.Error("empty table rendering")
+		}
+	}
+}
+
+// TestPublicAPIAblations drives the ablation surface and the extension
+// types through the facade.
+func TestPublicAPIAblations(t *testing.T) {
+	tables := evr.RunAblations(2)
+	if len(tables) != 13 {
+		t.Fatalf("RunAblations returned %d tables", len(tables))
+	}
+	rig := evr.SixCameraRig(16)
+	if len(rig.Cameras) != 6 {
+		t.Error("facade rig wrong")
+	}
+	if evr.DefaultLadder().Rungs() != 3 {
+		t.Error("facade ladder wrong")
+	}
+}

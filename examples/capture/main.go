@@ -1,0 +1,69 @@
+// Capture: the production side of the VR pipeline (Fig. 1, left half).
+//
+// A six-camera rig photographs the synthetic scene, the stitcher blends the
+// sensor images into an equirectangular panorama, the codec compresses the
+// stitched sequence (with and without chroma-aware YCbCr coding), and the
+// §8.6 quality assessor scores the result against the analytic ground
+// truth — the whole capture→compress→assess chain the playback system
+// consumes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evr/internal/capture"
+	"evr/internal/codec"
+	"evr/internal/frame"
+	"evr/internal/projection"
+	"evr/internal/quality"
+	"evr/internal/scene"
+)
+
+func main() {
+	v, _ := scene.ByName("Elephant")
+	rig := capture.SixCameraRig(128)
+
+	// Stitch quality against the analytic ground truth.
+	mae, psnr, err := capture.StitchError(v, 0, rig, projection.ERP, 192, 96)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("six-camera rig → ERP stitch: PSNR %.1f dB, MAE %.4f vs ground truth\n", psnr, mae)
+
+	// Capture a short stitched sequence.
+	fmt.Println("\ncapturing and stitching 8 frames...")
+	var frames []*frame.Frame
+	for i := 0; i < 8; i++ {
+		t := float64(i) / 30
+		images := rig.Capture(v, t)
+		stitched, err := rig.Stitch(images, projection.ERP, 192, 96)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frames = append(frames, stitched)
+	}
+
+	// Compress with and without chroma-aware coding.
+	for _, chroma := range []bool{false, true} {
+		cfg := codec.Config{GOP: 8, Quality: 4, SearchRange: 2, ChromaCoding: chroma}
+		bs, err := codec.EncodeSequence(cfg, frames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		decoded, err := codec.DecodeSequence(bs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		assessor := quality.NewAssessor(projection.ERP, 48, 48)
+		rep := assessor.Assess(frames[0], decoded[0])
+		mode := "RGB coding   "
+		if chroma {
+			mode = "YCbCr chroma "
+		}
+		fmt.Printf("%s %6.1f KiB  viewport PSNR %5.1f dB  SSIM %.4f\n",
+			mode, float64(bs.TotalBytes())/1024, rep.MeanPSNR, rep.MeanSSIM)
+	}
+	fmt.Println("\nchroma-aware coding trades invisible chroma detail for bytes —")
+	fmt.Println("the same perceptual trick the paper's fixed-point PTE datapath uses (§6.1)")
+}

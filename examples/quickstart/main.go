@@ -1,0 +1,43 @@
+// Quickstart: the core EVR result in one minute.
+//
+// Prepares one video, simulates the 59-user corpus under the baseline and
+// under S+H (semantic-aware streaming + the PTE accelerator), and prints
+// the energy savings — the paper's headline numbers (Fig. 12).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"evr"
+)
+
+func main() {
+	sys := evr.NewSystem()
+	video, ok := evr.VideoByName("Rhino")
+	if !ok {
+		log.Fatal("catalog missing Rhino")
+	}
+	if err := sys.Prepare(video); err != nil {
+		log.Fatalf("ingest analysis failed: %v", err)
+	}
+
+	opts := evr.EvaluateOptions{Users: 10} // trim the corpus for a quick run
+	base, err := sys.Evaluate("Rhino", evr.Baseline, evr.OnlineStreaming, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	both, err := sys.Evaluate("Rhino", evr.SH, evr.OnlineStreaming, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("EVR quickstart — Rhino, online streaming, 10 users")
+	fmt.Printf("  baseline device power:   %.2f W (mobile TDP is 3.5 W)\n", base.Ledger.AveragePowerW())
+	fmt.Printf("  PT share of compute+mem: %.0f%%  (the \"VR tax\")\n", 100*base.PTShare())
+	fmt.Printf("  S+H compute saving:      %.0f%%\n", both.ComputeSavingPct(base))
+	fmt.Printf("  S+H device saving:       %.0f%%\n", both.DeviceSavingPct(base))
+	fmt.Printf("  FOV miss rate:           %.1f%%\n", 100*both.MissRate())
+	fmt.Printf("  bandwidth saving:        %.0f%%\n", both.BandwidthSavingPct())
+	fmt.Printf("  FPS drop:                %.2f%%\n", both.FPSDropPct())
+}

@@ -1,0 +1,3 @@
+module evr
+
+go 1.22

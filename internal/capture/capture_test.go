@@ -1,0 +1,159 @@
+package capture
+
+import (
+	"math"
+	"testing"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/scene"
+)
+
+func TestSixCameraRigGeometry(t *testing.T) {
+	r := SixCameraRig(64)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cameras) != 6 {
+		t.Fatalf("rig has %d cameras", len(r.Cameras))
+	}
+	// The six axes must be mutually near-orthogonal and cover ±X ±Y ±Z.
+	var sum geom.Vec3
+	for _, c := range r.Cameras {
+		f := c.Orientation.Forward()
+		sum = sum.Add(f)
+		if math.Abs(f.Norm()-1) > 1e-9 {
+			t.Error("camera axis not unit")
+		}
+	}
+	if sum.Norm() > 1e-9 {
+		t.Errorf("camera axes don't cancel: %v", sum)
+	}
+}
+
+func TestRigValidation(t *testing.T) {
+	if err := (Rig{}).Validate(); err == nil {
+		t.Error("empty rig accepted")
+	}
+	bad := SixCameraRig(32)
+	bad.Cameras[2].W = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sensor accepted")
+	}
+	bad = SixCameraRig(32)
+	bad.Cameras[0].FOVX = math.Pi
+	if err := bad.Validate(); err == nil {
+		t.Error("π FOV accepted")
+	}
+}
+
+func TestFullSphereCoverage(t *testing.T) {
+	// Every direction must be seen by at least one camera (the 100° FOV
+	// provides overlap) — stitching must never leave holes.
+	r := SixCameraRig(16)
+	for i := 0; i < 2000; i++ {
+		s := geom.Spherical{
+			Theta: float64(i%100)/100*2*math.Pi - math.Pi,
+			Phi:   (float64(i/100)/20 - 0.5) * math.Pi * 0.99,
+		}
+		dir := s.ToCartesian()
+		covered := false
+		for _, cam := range r.Cameras {
+			if _, _, ok := projectToCamera(cam, dir); ok {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("direction %+v uncovered", s)
+		}
+	}
+}
+
+func TestProjectToCameraInvertsRay(t *testing.T) {
+	cam := SixCameraRig(64).Cameras[1] // +X camera
+	vp := projection.Viewport{Width: cam.W, Height: cam.H, FOVX: cam.FOVX, FOVY: cam.FOVY}
+	for _, px := range []int{0, 13, 31, 63} {
+		for _, py := range []int{0, 20, 63} {
+			dir := vp.Ray(cam.Orientation, px, py)
+			u, v, ok := projectToCamera(cam, dir)
+			if !ok {
+				t.Fatalf("own ray (%d,%d) rejected", px, py)
+			}
+			if math.Abs(u-float64(px)) > 1e-6 || math.Abs(v-float64(py)) > 1e-6 {
+				t.Fatalf("ray (%d,%d) projected to (%v,%v)", px, py, u, v)
+			}
+		}
+	}
+}
+
+func TestCaptureProducesSensorImages(t *testing.T) {
+	v, _ := scene.ByName("RS")
+	r := SixCameraRig(32)
+	images := r.Capture(v, 0)
+	if len(images) != 6 {
+		t.Fatalf("captured %d images", len(images))
+	}
+	for i, img := range images {
+		if img.W != 32 || img.H != 32 {
+			t.Fatalf("image %d is %dx%d", i, img.W, img.H)
+		}
+	}
+}
+
+func TestStitchReconstructsScene(t *testing.T) {
+	// The full capture→stitch chain must reproduce the analytic panorama
+	// closely: this validates reprojection, blending, and coverage at once.
+	v, _ := scene.ByName("RS")
+	r := SixCameraRig(128)
+	mae, psnr, err := StitchError(v, 0, r, projection.ERP, 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 25 {
+		t.Errorf("stitch PSNR = %.1f dB, want ≥ 25", psnr)
+	}
+	if mae > 0.05 {
+		t.Errorf("stitch MAE = %v, want ≤ 0.05", mae)
+	}
+}
+
+func TestStitchResolutionImprovesQuality(t *testing.T) {
+	v, _ := scene.ByName("Timelapse")
+	_, loPSNR, err := StitchError(v, 1, SixCameraRig(32), projection.ERP, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hiPSNR, err := StitchError(v, 1, SixCameraRig(160), projection.ERP, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiPSNR <= loPSNR {
+		t.Errorf("higher sensor resolution should stitch better: %v vs %v dB", hiPSNR, loPSNR)
+	}
+}
+
+func TestStitchRejectsMismatchedImages(t *testing.T) {
+	r := SixCameraRig(16)
+	if _, err := r.Stitch([]*frame.Frame{frame.New(16, 16)}, projection.ERP, 32, 16); err == nil {
+		t.Error("wrong image count accepted")
+	}
+	if _, err := (Rig{}).Stitch(nil, projection.ERP, 32, 16); err == nil {
+		t.Error("empty rig accepted")
+	}
+}
+
+func TestStitchWorksForCubemapOutput(t *testing.T) {
+	v, _ := scene.ByName("RS")
+	r := SixCameraRig(96)
+	for _, m := range []projection.Method{projection.CMP, projection.EAC} {
+		_, psnr, err := StitchError(v, 0, r, m, 96, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr < 22 {
+			t.Errorf("%v stitch PSNR = %.1f dB", m, psnr)
+		}
+	}
+}

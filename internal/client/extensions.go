@@ -1,0 +1,78 @@
+package client
+
+import (
+	"evr/internal/geom"
+	"evr/internal/headtrace"
+	"evr/internal/sas"
+)
+
+// This file implements the paper's proposed extensions (discussed but not
+// evaluated in ISCA'19), so they can be measured against the shipped design:
+//
+//   - §8.2 "We expect that combining head movement prediction with SAS
+//     would further improve the bandwidth efficiency, which we wish to
+//     develop as future work": PredictiveChoice selects the FOV video using
+//     the head pose predicted for the *middle* of the upcoming segment
+//     rather than the pose at its boundary, cutting misses caused by
+//     in-flight head turns.
+//
+//   - §6.3 "the PTE logic could be tightly integrated into either the Video
+//     Codec or Display Processor … reduces the memory traffic induced by
+//     writing the FOV frames from the PTE to the frame buffer": FusedPTE
+//     models that integration by dropping the FOV-frame DRAM round trip on
+//     PTE-rendered frames.
+
+// Extensions configures the beyond-paper features. The zero value disables
+// all of them, leaving the shipped EVR design.
+type Extensions struct {
+	// PredictiveChoice picks each segment's FOV video with a head-pose
+	// prediction at mid-segment (SAS+HMP hybrid).
+	PredictiveChoice bool
+	// PredictionHorizonFrames is how far ahead the predictor looks when
+	// PredictiveChoice is on; 0 means half a segment.
+	PredictionHorizonFrames int
+	// FusedPTE integrates the PTE into the display processor: PT output
+	// streams to scanout without the frame-buffer DRAM round trip.
+	FusedPTE bool
+}
+
+// chooseTrack picks the FOV video for a segment, optionally using the
+// predictive extension. The oracle predictor reads the trace directly —
+// the generous §8.5 assumption, reused here.
+func (s *simulator) chooseTrack(seg *sas.SegmentPlan, tr headtrace.Trace) int {
+	o := tr.Samples[seg.Start].O
+	if s.cfg.Ext.PredictiveChoice {
+		h := s.cfg.Ext.PredictionHorizonFrames
+		if h <= 0 {
+			h = seg.Frames / 2
+		}
+		i := seg.Start + h
+		if i >= len(tr.Samples) {
+			i = len(tr.Samples) - 1
+		}
+		o = tr.Samples[i].O
+	}
+	return sas.ChooseTrack(seg, o)
+}
+
+// fusedPTESavedTraffic returns the DRAM bytes a fused PTE avoids per
+// PT-rendered frame: the FOV-frame write plus the scanout re-read.
+func (s *simulator) fusedPTESavedTraffic() int64 {
+	return 2 * s.vpBytes()
+}
+
+// predictGaze exposes the oracle prediction used by the extension, for
+// tests and experiments.
+func predictGaze(tr headtrace.Trace, frame, horizon int) geom.Orientation {
+	i := frame + horizon
+	if len(tr.Samples) == 0 {
+		return geom.Orientation{}
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(tr.Samples) {
+		i = len(tr.Samples) - 1
+	}
+	return tr.Samples[i].O
+}

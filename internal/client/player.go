@@ -1,0 +1,272 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"evr/internal/codec"
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/hmd"
+	"evr/internal/projection"
+	"evr/internal/pt"
+	"evr/internal/pte"
+	"evr/internal/server"
+)
+
+// Player is the pixel-exact EVR playback client: it speaks the server's
+// HTTP protocol, decodes real bitstreams, runs the FOV checker on every
+// frame, and renders misses through the PTE (or the reference float
+// pipeline when HAR is disabled). It is the integration-level counterpart
+// of the behavioral Simulate path.
+type Player struct {
+	BaseURL string
+	HTTP    *http.Client
+	HMD     hmd.Config
+	// UseHAR renders fallback frames on the PTE accelerator; otherwise the
+	// reference (GPU-style) float pipeline is used.
+	UseHAR bool
+	// ViewportScale shrinks the rendered viewport by this linear factor to
+	// keep pixel work tractable (energy accounting always uses nominal
+	// sizes; the player is about end-to-end correctness).
+	ViewportScale int
+	// Resilient keeps playback alive through corrupt or missing payloads:
+	// a broken FOV video falls back to the original segment, a broken
+	// original freezes the last displayed frame. Without it, errors abort.
+	Resilient bool
+}
+
+// PlaybackStats summarizes one playback run.
+type PlaybackStats struct {
+	Frames        int
+	Hits          int
+	Misses        int
+	Fallbacks     int // segments that fell back to the original stream
+	BytesFetched  int64
+	PTEFrames     int
+	PayloadErrors int // corrupt/missing payloads survived (Resilient mode)
+	FrozenFrames  int // frames repeated because no content was decodable
+}
+
+// NewPlayer returns a player against an EVR server base URL.
+func NewPlayer(baseURL string) *Player {
+	return &Player{
+		BaseURL:       baseURL,
+		HTTP:          http.DefaultClient,
+		HMD:           hmd.OSVRHDK2(),
+		UseHAR:        true,
+		ViewportScale: 40,
+	}
+}
+
+// Play streams a video while replaying head movement from the IMU and
+// returns the playback statistics together with the displayed frames.
+// maxSegments bounds the run (0 = all ingested segments).
+func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (PlaybackStats, []*frame.Frame, error) {
+	var stats PlaybackStats
+	man, err := p.fetchManifest(video)
+	if err != nil {
+		return stats, nil, err
+	}
+	tolerance := geom.Radians((man.FOVXDeg - p.HMD.FOVXDeg) / 2)
+	if tolerance <= 0 {
+		return stats, nil, fmt.Errorf("client: manifest FOV %v° not wider than HMD %v°", man.FOVXDeg, p.HMD.FOVXDeg)
+	}
+	vp := p.HMD.ScaledViewport(p.ViewportScale)
+	method := projection.Method(man.Projection)
+	var engine *pte.Engine
+	if p.UseHAR {
+		engine, err = pte.New(pte.DefaultConfig(method, pt.Bilinear, vp))
+		if err != nil {
+			return stats, nil, err
+		}
+	}
+	refCfg := pt.Config{Projection: method, Filter: pt.Bilinear, Viewport: vp}
+
+	var displayed []*frame.Frame
+	frameIdx := 0
+	for _, seg := range man.Segments {
+		if maxSegments > 0 && seg.Index >= maxSegments {
+			break
+		}
+		if imu.Frames() <= frameIdx {
+			break
+		}
+		// Choose the FOV video whose first-frame metadata is nearest to
+		// the current gaze (§5.3).
+		choice := -1
+		bestAng := tolerance * 4
+		gaze := imu.At(frameIdx)
+		for _, cl := range seg.Clusters {
+			if len(cl.Meta) == 0 {
+				continue
+			}
+			o := geom.Orientation{Yaw: cl.Meta[0].Yaw, Pitch: cl.Meta[0].Pitch}
+			if ang := gaze.AngularDistance(o); ang < bestAng {
+				bestAng = ang
+				choice = cl.ID
+			}
+		}
+
+		var fovFrames []*frame.Frame
+		var fovMeta []server.FrameMeta
+		if choice >= 0 {
+			fovFrames, fovMeta, err = p.fetchFOV(video, seg.Index, choice, &stats)
+			if err != nil {
+				if !p.Resilient {
+					return stats, nil, err
+				}
+				// A corrupt FOV video degrades to the original stream.
+				stats.PayloadErrors++
+				choice = -1
+			}
+		}
+		var origFrames []*frame.Frame // decoded lazily on fallback
+		fallback := choice < 0
+		if fallback {
+			origFrames, err = p.fetchOrig(video, seg.Index, &stats)
+			if err != nil {
+				if !p.Resilient {
+					return stats, nil, err
+				}
+				stats.PayloadErrors++
+				origFrames = nil // freeze frames below
+			}
+			stats.Fallbacks++
+		}
+
+		for f := 0; f < seg.Frames && frameIdx < imu.Frames(); f, frameIdx = f+1, frameIdx+1 {
+			o := imu.At(frameIdx)
+			hit := false
+			if !fallback && f < len(fovFrames) && f < len(fovMeta) {
+				meta := geom.Orientation{Yaw: fovMeta[f].Yaw, Pitch: fovMeta[f].Pitch}
+				hit = o.AngularDistance(meta) <= tolerance
+			}
+			if !fallback && !hit {
+				// FOV miss: request the original segment (§5.4).
+				origFrames, err = p.fetchOrig(video, seg.Index, &stats)
+				if err != nil {
+					if !p.Resilient {
+						return stats, nil, err
+					}
+					stats.PayloadErrors++
+					origFrames = nil
+				}
+				fallback = true
+				stats.Fallbacks++
+				stats.Misses++
+			} else if !fallback {
+				stats.Hits++
+			}
+			var out *frame.Frame
+			if !fallback {
+				// Direct display: the display processor crops the HMD FOV
+				// out of the margin-padded FOV frame and scales it to the
+				// panel — plain pixel manipulation, no PT (§2).
+				out = cropToViewport(fovFrames[f], vp,
+					geom.Radians(p.HMD.FOVXDeg)/geom.Radians(man.FOVXDeg),
+					geom.Radians(p.HMD.FOVYDeg)/geom.Radians(man.FOVYDeg))
+			} else if f < len(origFrames) {
+				if engine != nil {
+					out = engine.Render(origFrames[f], o)
+					stats.PTEFrames++
+				} else {
+					out = pt.Render(refCfg, origFrames[f], o)
+				}
+			} else if p.Resilient && len(displayed) > 0 {
+				// Nothing decodable: repeat the last good frame.
+				out = displayed[len(displayed)-1]
+				stats.FrozenFrames++
+			} else {
+				out = frame.New(vp.Width, vp.Height)
+			}
+			displayed = append(displayed, out)
+			stats.Frames++
+		}
+	}
+	return stats, displayed, nil
+}
+
+// cropToViewport extracts the central fracX×fracY region of a FOV frame and
+// bilinearly scales it to the display viewport.
+func cropToViewport(fov *frame.Frame, vp projection.Viewport, fracX, fracY float64) *frame.Frame {
+	out := frame.New(vp.Width, vp.Height)
+	w := float64(fov.W) * fracX
+	h := float64(fov.H) * fracY
+	x0 := (float64(fov.W) - w) / 2
+	y0 := (float64(fov.H) - h) / 2
+	for y := 0; y < vp.Height; y++ {
+		for x := 0; x < vp.Width; x++ {
+			u := x0 + (float64(x)+0.5)/float64(vp.Width)*w - 0.5
+			v := y0 + (float64(y)+0.5)/float64(vp.Height)*h - 0.5
+			r, g, b := fov.BilinearAt(u, v)
+			out.Set(x, y, r, g, b)
+		}
+	}
+	return out
+}
+
+func (p *Player) fetchManifest(video string) (*server.Manifest, error) {
+	body, err := p.get(fmt.Sprintf("%s/v/%s/manifest", p.BaseURL, video))
+	if err != nil {
+		return nil, err
+	}
+	var man server.Manifest
+	if err := json.Unmarshal(body, &man); err != nil {
+		return nil, fmt.Errorf("client: parsing manifest: %w", err)
+	}
+	return &man, nil
+}
+
+func (p *Player) fetchFOV(video string, seg, cluster int, stats *PlaybackStats) ([]*frame.Frame, []server.FrameMeta, error) {
+	payload, err := p.get(fmt.Sprintf("%s/v/%s/fov/%d/%d", p.BaseURL, video, seg, cluster))
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.BytesFetched += int64(len(payload))
+	bits, err := server.UnmarshalBitstream(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	frames, err := codec.DecodeSequence(bits)
+	if err != nil {
+		return nil, nil, err
+	}
+	metaRaw, err := p.get(fmt.Sprintf("%s/v/%s/fovmeta/%d/%d", p.BaseURL, video, seg, cluster))
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.BytesFetched += int64(len(metaRaw))
+	var meta []server.FrameMeta
+	if err := json.Unmarshal(metaRaw, &meta); err != nil {
+		return nil, nil, fmt.Errorf("client: parsing FOV metadata: %w", err)
+	}
+	return frames, meta, nil
+}
+
+func (p *Player) fetchOrig(video string, seg int, stats *PlaybackStats) ([]*frame.Frame, error) {
+	payload, err := p.get(fmt.Sprintf("%s/v/%s/orig/%d", p.BaseURL, video, seg))
+	if err != nil {
+		return nil, err
+	}
+	stats.BytesFetched += int64(len(payload))
+	bits, err := server.UnmarshalBitstream(payload)
+	if err != nil {
+		return nil, err
+	}
+	return codec.DecodeSequence(bits)
+}
+
+func (p *Player) get(url string) ([]byte, error) {
+	resp, err := p.HTTP.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: GET %s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}

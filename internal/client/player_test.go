@@ -1,0 +1,141 @@
+package client
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+// startTestServer ingests a short slice of a video and serves it.
+func startTestServer(t *testing.T, video string, segments int) (*httptest.Server, scene.VideoSpec) {
+	t.Helper()
+	v, ok := scene.ByName(video)
+	if !ok {
+		t.Fatalf("unknown video %q", video)
+	}
+	cfg := server.DefaultIngestConfig()
+	cfg.FullW, cfg.FullH = 96, 48
+	cfg.FOVW, cfg.FOVH = 32, 32
+	cfg.MaxSegments = segments
+	cfg.Codec.SearchRange = 1
+	svc := server.NewService(store.New())
+	if _, err := svc.IngestVideo(v, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts, v
+}
+
+func TestEndToEndPlayback(t *testing.T) {
+	ts, v := startTestServer(t, "RS", 2)
+	p := NewPlayer(ts.URL)
+	imu := hmd.NewIMU(headtrace.Generate(v, 0))
+	stats, frames, err := p.Play("RS", imu, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames != 60 {
+		t.Fatalf("played %d frames, want 60", stats.Frames)
+	}
+	if len(frames) != 60 {
+		t.Fatalf("displayed %d frames", len(frames))
+	}
+	vp := p.HMD.ScaledViewport(p.ViewportScale)
+	for i, f := range frames {
+		if f.W != vp.Width || f.H != vp.Height {
+			t.Fatalf("frame %d is %dx%d, want %dx%d", i, f.W, f.H, vp.Width, vp.Height)
+		}
+	}
+	if stats.Hits == 0 {
+		t.Error("no FOV hits — SAS never engaged")
+	}
+	if stats.BytesFetched == 0 {
+		t.Error("no bytes fetched")
+	}
+	// Displayed frames must not be uniformly black: content flowed through.
+	nonZero := 0
+	for _, b := range frames[0].Pix {
+		if b != 0 {
+			nonZero++
+		}
+	}
+	if nonZero < len(frames[0].Pix)/4 {
+		t.Error("first displayed frame is mostly black")
+	}
+}
+
+func TestEndToEndHARvsReference(t *testing.T) {
+	ts, v := startTestServer(t, "RS", 1)
+	imu := hmd.NewIMU(headtrace.Generate(v, 1))
+
+	har := NewPlayer(ts.URL)
+	har.UseHAR = true
+	sHar, fHar, err := har.Play("RS", imu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewPlayer(ts.URL)
+	ref.UseHAR = false
+	sRef, fRef, err := ref.Play("RS", imu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sHar.Frames != sRef.Frames {
+		t.Fatalf("frame counts differ: %d vs %d", sHar.Frames, sRef.Frames)
+	}
+	// Same control flow, near-identical pixels (fixed point vs float).
+	for i := range fHar {
+		if fHar[i].W != fRef[i].W {
+			t.Fatal("dimension mismatch")
+		}
+	}
+	if sHar.Hits != sRef.Hits || sHar.Misses != sRef.Misses {
+		t.Errorf("QoE differs between HAR and reference: %+v vs %+v", sHar, sRef)
+	}
+}
+
+func TestPlayerUnknownVideo(t *testing.T) {
+	ts, _ := startTestServer(t, "RS", 1)
+	p := NewPlayer(ts.URL)
+	if _, _, err := p.Play("Nope", hmd.NewIMU(headtrace.Trace{}), 1); err == nil {
+		t.Error("unknown video accepted")
+	}
+}
+
+// TestLiveStreamPlayback plays a live-mode stream: no FOV videos exist, so
+// every frame falls back to PT on the PTE (the §8.3 H-only use-case).
+func TestLiveStreamPlayback(t *testing.T) {
+	v, _ := scene.ByName("RS")
+	cfg := server.DefaultIngestConfig()
+	cfg.FullW, cfg.FullH = 96, 48
+	cfg.FOVW, cfg.FOVH = 32, 32
+	cfg.MaxSegments = 1
+	cfg.Codec.SearchRange = 1
+	cfg.LiveMode = true
+	svc := server.NewService(store.New())
+	if _, err := svc.IngestVideo(v, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	p := NewPlayer(ts.URL)
+	stats, frames, err := p.Play("RS", hmd.NewIMU(headtrace.Generate(v, 0)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames != 30 || len(frames) != 30 {
+		t.Fatalf("played %d frames", stats.Frames)
+	}
+	if stats.Hits != 0 {
+		t.Errorf("live stream produced %d FOV hits", stats.Hits)
+	}
+	if stats.PTEFrames != 30 {
+		t.Errorf("PTE rendered %d of 30 frames", stats.PTEFrames)
+	}
+}

@@ -1,0 +1,136 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+// corruptingHandler wraps a service handler and mangles responses whose
+// paths match a predicate — the failure-injection harness.
+func corruptingHandler(inner http.Handler, match func(path string) bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !match(r.URL.Path) {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, r)
+		body := rec.Body.Bytes()
+		// Truncate and flip bits: reliably undecodable.
+		if len(body) > 16 {
+			body = body[:len(body)/2]
+			for i := 8; i < len(body); i += 7 {
+				body[i] ^= 0xFF
+			}
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(body)
+	})
+}
+
+func corruptTestServer(t *testing.T, match func(string) bool) (*httptest.Server, scene.VideoSpec) {
+	t.Helper()
+	v, _ := scene.ByName("RS")
+	cfg := server.DefaultIngestConfig()
+	cfg.FullW, cfg.FullH = 96, 48
+	cfg.FOVW, cfg.FOVH = 32, 32
+	cfg.MaxSegments = 2
+	cfg.Codec.SearchRange = 1
+	svc := server.NewService(store.New())
+	if _, err := svc.IngestVideo(v, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(corruptingHandler(svc.Handler(), match))
+	t.Cleanup(ts.Close)
+	return ts, v
+}
+
+func TestNonResilientPlayerAbortsOnCorruptFOV(t *testing.T) {
+	ts, v := corruptTestServer(t, func(p string) bool {
+		return strings.Contains(p, "/fov/") && !strings.Contains(p, "fovmeta")
+	})
+	p := NewPlayer(ts.URL)
+	_, _, err := p.Play("RS", hmd.NewIMU(headtrace.Generate(v, 0)), 2)
+	if err == nil {
+		t.Fatal("corrupt FOV payload did not abort a non-resilient player")
+	}
+}
+
+func TestResilientPlayerSurvivesCorruptFOV(t *testing.T) {
+	ts, v := corruptTestServer(t, func(p string) bool {
+		return strings.Contains(p, "/fov/") && !strings.Contains(p, "fovmeta")
+	})
+	p := NewPlayer(ts.URL)
+	p.Resilient = true
+	stats, frames, err := p.Play("RS", hmd.NewIMU(headtrace.Generate(v, 0)), 2)
+	if err != nil {
+		t.Fatalf("resilient player failed: %v", err)
+	}
+	if stats.Frames != 60 || len(frames) != 60 {
+		t.Fatalf("played %d frames, want 60", stats.Frames)
+	}
+	if stats.PayloadErrors == 0 {
+		t.Error("no payload errors recorded despite corruption")
+	}
+	// Degraded to the original stream: everything renders through PT.
+	if stats.Hits != 0 {
+		t.Errorf("FOV hits %d despite corrupt FOV videos", stats.Hits)
+	}
+	if stats.PTEFrames != 60 {
+		t.Errorf("PTE rendered %d frames, want all 60", stats.PTEFrames)
+	}
+}
+
+func TestResilientPlayerFreezesOnTotalLoss(t *testing.T) {
+	// Corrupt everything except the manifest: the player must still emit
+	// the right number of frames, freezing when nothing decodes.
+	ts, v := corruptTestServer(t, func(p string) bool {
+		return strings.Contains(p, "/orig/") ||
+			(strings.Contains(p, "/fov/") && !strings.Contains(p, "fovmeta"))
+	})
+	p := NewPlayer(ts.URL)
+	p.Resilient = true
+	stats, frames, err := p.Play("RS", hmd.NewIMU(headtrace.Generate(v, 0)), 2)
+	if err != nil {
+		t.Fatalf("resilient player failed: %v", err)
+	}
+	if len(frames) != 60 {
+		t.Fatalf("displayed %d frames, want 60", len(frames))
+	}
+	if stats.FrozenFrames == 0 {
+		t.Error("expected frozen frames under total content loss")
+	}
+	if stats.PayloadErrors < 2 {
+		t.Errorf("payload errors = %d, want several", stats.PayloadErrors)
+	}
+}
+
+func TestResilientModeNoOpOnHealthyServer(t *testing.T) {
+	ts, v := corruptTestServer(t, func(string) bool { return false })
+	imu := hmd.NewIMU(headtrace.Generate(v, 0))
+	plain := NewPlayer(ts.URL)
+	sPlain, fPlain, err := plain.Play("RS", imu, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewPlayer(ts.URL)
+	res.Resilient = true
+	sRes, fRes, err := res.Play("RS", imu, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sPlain.Hits != sRes.Hits || sPlain.Misses != sRes.Misses || len(fPlain) != len(fRes) {
+		t.Error("resilient mode changed healthy-path behavior")
+	}
+	if sRes.PayloadErrors != 0 || sRes.FrozenFrames != 0 {
+		t.Error("healthy server produced error stats")
+	}
+}

@@ -1,0 +1,109 @@
+package codec
+
+import "math"
+
+// blockSize is the transform block edge length (8×8, as in JPEG/H.26x).
+const blockSize = 8
+
+// cosTable holds the DCT-II basis: cosTable[k][n] = c(k)·cos((2n+1)kπ/16).
+var cosTable [blockSize][blockSize]float64
+
+func init() {
+	for k := 0; k < blockSize; k++ {
+		c := math.Sqrt(2.0 / blockSize)
+		if k == 0 {
+			c = math.Sqrt(1.0 / blockSize)
+		}
+		for n := 0; n < blockSize; n++ {
+			cosTable[k][n] = c * math.Cos(float64(2*n+1)*float64(k)*math.Pi/(2*blockSize))
+		}
+	}
+}
+
+// fdct computes the 2-D forward DCT of an 8×8 spatial block.
+func fdct(in *[blockSize * blockSize]float64, out *[blockSize * blockSize]float64) {
+	var tmp [blockSize * blockSize]float64
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for k := 0; k < blockSize; k++ {
+			var s float64
+			for n := 0; n < blockSize; n++ {
+				s += in[y*blockSize+n] * cosTable[k][n]
+			}
+			tmp[y*blockSize+k] = s
+		}
+	}
+	// Columns.
+	for x := 0; x < blockSize; x++ {
+		for k := 0; k < blockSize; k++ {
+			var s float64
+			for n := 0; n < blockSize; n++ {
+				s += tmp[n*blockSize+x] * cosTable[k][n]
+			}
+			out[k*blockSize+x] = s
+		}
+	}
+}
+
+// idct computes the 2-D inverse DCT of an 8×8 coefficient block.
+func idct(in *[blockSize * blockSize]float64, out *[blockSize * blockSize]float64) {
+	var tmp [blockSize * blockSize]float64
+	// Columns.
+	for x := 0; x < blockSize; x++ {
+		for n := 0; n < blockSize; n++ {
+			var s float64
+			for k := 0; k < blockSize; k++ {
+				s += in[k*blockSize+x] * cosTable[k][n]
+			}
+			tmp[n*blockSize+x] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < blockSize; y++ {
+		for n := 0; n < blockSize; n++ {
+			var s float64
+			for k := 0; k < blockSize; k++ {
+				s += tmp[y*blockSize+k] * cosTable[k][n]
+			}
+			out[y*blockSize+n] = s
+		}
+	}
+}
+
+// zigzag is the coefficient scan order: low frequencies first so that runs
+// of trailing zeros compress well.
+var zigzag = buildZigzag()
+
+func buildZigzag() [blockSize * blockSize]int {
+	var order [blockSize * blockSize]int
+	idx := 0
+	for s := 0; s < 2*blockSize-1; s++ {
+		if s%2 == 0 { // up-right
+			for y := min(s, blockSize-1); y >= 0 && s-y < blockSize; y-- {
+				order[idx] = y*blockSize + (s - y)
+				idx++
+			}
+		} else { // down-left
+			for x := min(s, blockSize-1); x >= 0 && s-x < blockSize; x-- {
+				order[idx] = (s-x)*blockSize + x
+				idx++
+			}
+		}
+	}
+	return order
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// quantStep returns the quantizer step for coefficient index (ky, kx) at a
+// quality scale: a flat base with a frequency-proportional ramp, scaled
+// linearly with Quality (1 = finest).
+func quantStep(ky, kx, quality int) float64 {
+	base := 4.0 + 1.5*float64(ky+kx)
+	return base * float64(quality)
+}

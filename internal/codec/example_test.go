@@ -1,0 +1,31 @@
+package codec_test
+
+import (
+	"fmt"
+
+	"evr/internal/codec"
+	"evr/internal/frame"
+)
+
+// Encode and decode a short clip, inspecting the GOP structure.
+func ExampleEncodeSequence() {
+	var frames []*frame.Frame
+	for i := 0; i < 6; i++ {
+		f := frame.New(32, 32)
+		f.Fill(byte(40*i), 128, 200)
+		frames = append(frames, f)
+	}
+	bs, err := codec.EncodeSequence(codec.Config{GOP: 3, Quality: 4, SearchRange: 1}, frames)
+	if err != nil {
+		panic(err)
+	}
+	decoded, err := codec.DecodeSequence(bs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("frames: %d, keyframes at %v\n", len(decoded), bs.KeyframeIndices())
+	fmt.Printf("compressed below raw: %v\n", bs.TotalBytes() < 6*frames[0].Bytes())
+	// Output:
+	// frames: 6, keyframes at [0 3]
+	// compressed below raw: true
+}

@@ -1,0 +1,93 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsOnGarbage feeds random byte soup to the decoder:
+// every input must produce a frame or an error, never a panic or a hang.
+func TestDecodeNeverPanicsOnGarbage(t *testing.T) {
+	prop := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		dec := NewDecoder()
+		_, _ = dec.Decode(data)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(80))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeNeverPanicsOnMutatedValidStreams corrupts real bitstreams —
+// bit flips, truncations, extensions — the nastier fuzz surface because
+// headers parse and the block loop runs.
+func TestDecodeNeverPanicsOnMutatedValidStreams(t *testing.T) {
+	src := noisyGradient(32, 32, 90)
+	enc, err := NewEncoder(Config{GOP: 2, Quality: 4, SearchRange: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streams [][]byte
+	for i := 0; i < 3; i++ {
+		data, _, err := enc.Encode(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, data)
+	}
+	rng := rand.New(rand.NewSource(81))
+	mutate := func(data []byte) []byte {
+		out := append([]byte(nil), data...)
+		switch rng.Intn(4) {
+		case 0: // bit flips
+			for k := 0; k < 1+rng.Intn(8); k++ {
+				out[rng.Intn(len(out))] ^= 1 << uint(rng.Intn(8))
+			}
+		case 1: // truncation
+			out = out[:rng.Intn(len(out))]
+		case 2: // extension with junk
+			junk := make([]byte, rng.Intn(64))
+			rng.Read(junk)
+			out = append(out, junk...)
+		case 3: // header scramble
+			for k := 0; k < 6 && k < len(out); k++ {
+				out[k] = byte(rng.Intn(256))
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 400; trial++ {
+		data := mutate(streams[rng.Intn(len(streams))])
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decoder panicked on mutated stream (trial %d): %v", trial, r)
+				}
+			}()
+			dec := NewDecoder()
+			// Feed a valid I-frame first so P-frames have a reference.
+			dec.Decode(streams[0])
+			dec.Decode(data)
+		}()
+	}
+}
+
+// TestDecoderBoundedWorkOnAdversarialInput guards against quadratic or
+// unbounded loops: a stream claiming a huge frame must fail fast.
+func TestDecoderBoundedWorkOnAdversarialInput(t *testing.T) {
+	// Handcraft a header claiming a 65528×65528 frame with no payload.
+	w := &bitWriter{}
+	w.writeBits(uint64(IFrame), 8)
+	w.writeBits(65528, 16)
+	w.writeBits(65528, 16)
+	w.writeBits(4, 8)
+	if _, err := NewDecoder().Decode(w.bytes()); err == nil {
+		t.Error("giant empty frame accepted")
+	}
+}

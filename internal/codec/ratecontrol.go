@@ -1,0 +1,106 @@
+package codec
+
+import (
+	"fmt"
+
+	"evr/internal/frame"
+)
+
+// RateController adapts the quantizer scale to hold compressed frame sizes
+// near a target — the role a streaming server's encoder plays when it must
+// hit a nominal bitrate regardless of content complexity. The controller is
+// a clamped multiplicative-increase scheme on the quality scale: oversized
+// frames coarsen the quantizer, undersized frames refine it.
+type RateController struct {
+	TargetBytes int // per frame
+	MinQ, MaxQ  int
+	// Deadband is the relative error tolerated before adjusting, e.g.
+	// 0.15 keeps q stable while sizes stay within ±15% of target.
+	Deadband float64
+
+	q int
+}
+
+// NewRateController returns a controller starting at initialQ.
+func NewRateController(targetBytes, initialQ int) (*RateController, error) {
+	if targetBytes < 1 {
+		return nil, fmt.Errorf("codec: target %d bytes must be ≥ 1", targetBytes)
+	}
+	rc := &RateController{TargetBytes: targetBytes, MinQ: 1, MaxQ: 64, Deadband: 0.15, q: initialQ}
+	if initialQ < rc.MinQ || initialQ > rc.MaxQ {
+		return nil, fmt.Errorf("codec: initial quality %d out of [%d, %d]", initialQ, rc.MinQ, rc.MaxQ)
+	}
+	return rc, nil
+}
+
+// Quality returns the quantizer scale to use for the next frame.
+func (rc *RateController) Quality() int { return rc.q }
+
+// Observe feeds back the compressed size of the last frame and adapts the
+// quantizer for the next one.
+func (rc *RateController) Observe(frameBytes int) {
+	ratio := float64(frameBytes) / float64(rc.TargetBytes)
+	switch {
+	case ratio > 1+rc.Deadband:
+		step := 1
+		if ratio > 2 {
+			step = 4 // way over: jump coarser
+		}
+		rc.q += step
+	case ratio < 1-rc.Deadband:
+		step := 1
+		if ratio < 0.5 {
+			step = 2
+		}
+		rc.q -= step
+	}
+	if rc.q < rc.MinQ {
+		rc.q = rc.MinQ
+	}
+	if rc.q > rc.MaxQ {
+		rc.q = rc.MaxQ
+	}
+}
+
+// EncodeSequenceRC compresses frames under rate control, re-creating the
+// encoder whenever the quantizer changes at a GOP boundary (quality is a
+// stream-level parameter of this codec, so adaptation happens per GOP, as
+// in segment-granular ABR ladders). It returns the bitstream and the
+// quality used for each frame.
+func EncodeSequenceRC(cfg Config, frames []*frame.Frame, targetBytesPerFrame int) (*Bitstream, []int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	rc, err := NewRateController(targetBytesPerFrame, cfg.Quality)
+	if err != nil {
+		return nil, nil, err
+	}
+	bs := &Bitstream{}
+	var qs []int
+	for start := 0; start < len(frames); start += cfg.GOP {
+		end := start + cfg.GOP
+		if end > len(frames) {
+			end = len(frames)
+		}
+		gopCfg := cfg
+		gopCfg.Quality = rc.Quality()
+		enc, err := NewEncoder(gopCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, f := range frames[start:end] {
+			if bs.W == 0 {
+				bs.W, bs.H = f.W, f.H
+			}
+			data, ft, err := enc.Encode(f)
+			if err != nil {
+				return nil, nil, err
+			}
+			bs.Frames = append(bs.Frames, data)
+			bs.Types = append(bs.Types, ft)
+			qs = append(qs, gopCfg.Quality)
+			rc.Observe(len(data))
+		}
+	}
+	return bs, qs, nil
+}

@@ -1,0 +1,149 @@
+package codec
+
+import (
+	"testing"
+
+	"evr/internal/frame"
+)
+
+func TestRateControllerValidation(t *testing.T) {
+	if _, err := NewRateController(0, 4); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := NewRateController(1000, 0); err == nil {
+		t.Error("quality 0 accepted")
+	}
+	if _, err := NewRateController(1000, 99); err == nil {
+		t.Error("quality 99 accepted")
+	}
+}
+
+func TestRateControllerDirection(t *testing.T) {
+	rc, err := NewRateController(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Observe(2500) // way over → coarsen fast
+	if rc.Quality() <= 8 {
+		t.Errorf("oversized frame did not coarsen: q=%d", rc.Quality())
+	}
+	rc2, _ := NewRateController(1000, 8)
+	rc2.Observe(300) // way under → refine
+	if rc2.Quality() >= 8 {
+		t.Errorf("undersized frame did not refine: q=%d", rc2.Quality())
+	}
+	rc3, _ := NewRateController(1000, 8)
+	rc3.Observe(1050) // within deadband → hold
+	if rc3.Quality() != 8 {
+		t.Errorf("deadband not respected: q=%d", rc3.Quality())
+	}
+}
+
+func TestRateControllerClamps(t *testing.T) {
+	rc, _ := NewRateController(1000, 2)
+	for i := 0; i < 20; i++ {
+		rc.Observe(10) // always tiny
+	}
+	if rc.Quality() != 1 {
+		t.Errorf("q = %d, want clamped at 1", rc.Quality())
+	}
+	rc2, _ := NewRateController(100, 60)
+	for i := 0; i < 20; i++ {
+		rc2.Observe(100000)
+	}
+	if rc2.Quality() != 64 {
+		t.Errorf("q = %d, want clamped at 64", rc2.Quality())
+	}
+}
+
+func TestEncodeSequenceRCConvergesToTarget(t *testing.T) {
+	// Stationary noisy content: after the first few GOPs the per-frame
+	// sizes must settle near the target.
+	var frames []*frame.Frame
+	base := noisyGradient(64, 64, 200)
+	for i := 0; i < 24; i++ {
+		frames = append(frames, shifted(base, i%4, i%3))
+	}
+	const target = 900
+	cfg := Config{GOP: 4, Quality: 2, SearchRange: 2}
+	bs, qs, err := EncodeSequenceRC(cfg, frames, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs.Frames) != 24 || len(qs) != 24 {
+		t.Fatalf("encoded %d frames, %d qualities", len(bs.Frames), len(qs))
+	}
+	// Average size over the last two GOPs within 2x of target.
+	var tail int
+	for _, f := range bs.Frames[16:] {
+		tail += len(f)
+	}
+	avg := tail / 8
+	if avg < target/2 || avg > target*2 {
+		t.Errorf("converged frame size %d not near target %d", avg, target)
+	}
+	// Quality must have moved from the (too fine) initial value.
+	if qs[len(qs)-1] == qs[0] {
+		t.Log("quality never adapted — acceptable only if already on target")
+		var head int
+		for _, f := range bs.Frames[:4] {
+			head += len(f)
+		}
+		if head/4 > 2*target {
+			t.Error("initial frames oversized yet quality never adapted")
+		}
+	}
+}
+
+func TestEncodeSequenceRCAdaptsPerGOP(t *testing.T) {
+	// Quality is constant within a GOP and may change only at boundaries.
+	var frames []*frame.Frame
+	for i := 0; i < 12; i++ {
+		frames = append(frames, noisyGradient(32, 32, int64(300+i)))
+	}
+	cfg := Config{GOP: 4, Quality: 1, SearchRange: 1}
+	_, qs, err := EncodeSequenceRC(cfg, frames, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 3; g++ {
+		for i := 1; i < 4; i++ {
+			if qs[g*4+i] != qs[g*4] {
+				t.Fatalf("quality changed mid-GOP: %v", qs)
+			}
+		}
+	}
+}
+
+func TestEncodeSequenceRCStreamDecodes(t *testing.T) {
+	var frames []*frame.Frame
+	base := noisyGradient(32, 32, 400)
+	for i := 0; i < 8; i++ {
+		frames = append(frames, shifted(base, i, 0))
+	}
+	bs, _, err := EncodeSequenceRC(Config{GOP: 4, Quality: 4, SearchRange: 1}, frames, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSequence(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 8 {
+		t.Fatalf("decoded %d frames", len(decoded))
+	}
+	for i := range decoded {
+		if psnr := frame.PSNR(frames[i], decoded[i]); psnr < 20 {
+			t.Errorf("frame %d PSNR %v too low", i, psnr)
+		}
+	}
+}
+
+func TestEncodeSequenceRCRejectsBadInput(t *testing.T) {
+	if _, _, err := EncodeSequenceRC(Config{}, nil, 100); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, _, err := EncodeSequenceRC(DefaultConfig(), nil, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+}

@@ -1,0 +1,209 @@
+// Package core assembles the complete EVR system (§4): the cloud component
+// (semantic ingest analysis) and the client device (energy-accounted
+// playback under any variant/use-case), plus the aggregation used by every
+// energy figure in the evaluation — per-video results averaged over the
+// 59-user trace corpus.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"evr/internal/client"
+	"evr/internal/energy"
+	"evr/internal/headtrace"
+	"evr/internal/sas"
+	"evr/internal/scene"
+)
+
+// System is an EVR deployment: SAS configuration, prepared per-video plans,
+// and the device configuration template.
+type System struct {
+	SASConfig sas.Config
+
+	mu    sync.RWMutex
+	plans map[string]*sas.Plan
+	specs map[string]scene.VideoSpec
+}
+
+// NewSystem returns a system with the paper's default design point.
+func NewSystem() *System {
+	return &System{
+		SASConfig: sas.DefaultConfig(),
+		plans:     make(map[string]*sas.Plan),
+		specs:     make(map[string]scene.VideoSpec),
+	}
+}
+
+// Prepare runs the ingest analysis for a video (the cloud side of Fig. 4)
+// and caches its SAS plan.
+func (s *System) Prepare(v scene.VideoSpec) error {
+	plan, err := sas.BuildPlan(v, s.SASConfig)
+	if err != nil {
+		return fmt.Errorf("core: preparing %s: %w", v.Name, err)
+	}
+	s.mu.Lock()
+	s.plans[v.Name] = plan
+	s.specs[v.Name] = v
+	s.mu.Unlock()
+	return nil
+}
+
+// Plan returns the prepared plan for a video.
+func (s *System) Plan(video string) (*sas.Plan, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.plans[video]
+	return p, ok
+}
+
+// Summary aggregates playback results over a user population.
+type Summary struct {
+	Video   string
+	Variant client.Variant
+	UseCase client.UseCase
+	Users   int
+
+	Ledger energy.Ledger // merged over users
+
+	FramesTotal   int
+	FramesHit     int
+	FramesPT      int
+	FOVChecks     int
+	FOVMisses     int
+	DroppedFrames int
+
+	StreamedBytes         int64
+	BaselineStreamedBytes int64
+	PTComputeJ            float64
+	PTMemoryJ             float64
+	RebufferCount         int
+}
+
+// ComputeMemoryJ returns the compute+memory energy — the paper's "compute
+// energy" axis in Figs. 12 and 15.
+func (s Summary) ComputeMemoryJ() float64 {
+	return s.Ledger.Joules(energy.Compute) + s.Ledger.Joules(energy.Memory)
+}
+
+// PTShare returns PT's fraction of compute+memory energy (Fig. 3b).
+func (s Summary) PTShare() float64 {
+	cm := s.ComputeMemoryJ()
+	if cm == 0 {
+		return 0
+	}
+	return (s.PTComputeJ + s.PTMemoryJ) / cm
+}
+
+// MissRate returns the per-frame FOV miss rate.
+func (s Summary) MissRate() float64 {
+	if s.FOVChecks == 0 {
+		return 0
+	}
+	return float64(s.FOVMisses) / float64(s.FOVChecks)
+}
+
+// FPSDropPct returns the percentage of frames lost to rebuffering.
+func (s Summary) FPSDropPct() float64 {
+	if s.FramesTotal == 0 {
+		return 0
+	}
+	return 100 * float64(s.DroppedFrames) / float64(s.FramesTotal)
+}
+
+// BandwidthSavingPct returns streamed-byte reduction vs the baseline.
+func (s Summary) BandwidthSavingPct() float64 {
+	if s.BaselineStreamedBytes == 0 {
+		return 0
+	}
+	return 100 * (1 - float64(s.StreamedBytes)/float64(s.BaselineStreamedBytes))
+}
+
+// ComputeSavingPct returns this summary's compute+memory energy saving
+// relative to a baseline summary.
+func (s Summary) ComputeSavingPct(baseline Summary) float64 {
+	b := baseline.ComputeMemoryJ()
+	if b == 0 {
+		return 0
+	}
+	return 100 * (1 - s.ComputeMemoryJ()/b)
+}
+
+// DeviceSavingPct returns the total device energy saving vs a baseline.
+func (s Summary) DeviceSavingPct(baseline Summary) float64 {
+	b := baseline.Ledger.Total()
+	if b == 0 {
+		return 0
+	}
+	return 100 * (1 - s.Ledger.Total()/b)
+}
+
+// EvaluateOptions tunes an evaluation run.
+type EvaluateOptions struct {
+	Users  int           // traces to simulate (default: headtrace.DatasetUsers)
+	Config client.Config // device configuration; zero value → DefaultConfig
+}
+
+// Evaluate plays a prepared video for a user population under the given
+// variant/use-case and returns the merged summary.
+func (s *System) Evaluate(video string, variant client.Variant, uc client.UseCase, opts EvaluateOptions) (Summary, error) {
+	s.mu.RLock()
+	plan, ok := s.plans[video]
+	spec, okSpec := s.specs[video]
+	s.mu.RUnlock()
+	if !ok || !okSpec {
+		return Summary{}, fmt.Errorf("core: video %q not prepared", video)
+	}
+	users := opts.Users
+	if users <= 0 {
+		users = headtrace.DatasetUsers
+	}
+	cfg := opts.Config
+	if cfg.NominalW == 0 { // zero value: use the evaluation defaults
+		cfg = client.DefaultConfig(variant, uc)
+	} else {
+		cfg.Variant = variant
+		cfg.UseCase = uc
+	}
+	cfg.SAS = plan.Cfg // the plan's geometry governs hit checking
+
+	// Users are independent: simulate them concurrently, then merge in
+	// user order so float accumulation stays deterministic.
+	results := make([]client.Result, users)
+	errs := make([]error, users)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(u int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tr := headtrace.Generate(spec, u)
+			results[u], errs[u] = client.Simulate(spec, tr, plan, cfg)
+		}(u)
+	}
+	wg.Wait()
+
+	sum := Summary{Video: video, Variant: variant, UseCase: uc, Users: users}
+	for u := 0; u < users; u++ {
+		if errs[u] != nil {
+			return Summary{}, fmt.Errorf("core: simulating %s user %d: %w", video, u, errs[u])
+		}
+		r := results[u]
+		sum.Ledger.Merge(r.Ledger)
+		sum.FramesTotal += r.FramesTotal
+		sum.FramesHit += r.FramesHit
+		sum.FramesPT += r.FramesPT
+		sum.FOVChecks += r.FOVChecks
+		sum.FOVMisses += r.FOVMisses
+		sum.DroppedFrames += r.DroppedFrames
+		sum.StreamedBytes += r.StreamedBytes
+		sum.BaselineStreamedBytes += r.BaselineStreamedBytes
+		sum.PTComputeJ += r.PTComputeJ
+		sum.PTMemoryJ += r.PTMemoryJ
+		sum.RebufferCount += r.Net.RebufferCount
+	}
+	return sum, nil
+}

@@ -1,0 +1,156 @@
+// Package display models the Display Processor IP of the SoC (Fig. 2, §2):
+// the block that performs "necessary pixel manipulations (e.g., color-space
+// conversion, rotation)" and scans frames out to the panel. In conventional
+// planar playback the GPU is bypassed and this block is the whole
+// post-decode pipeline; under SAS, FOV-hit frames take exactly that path.
+//
+// The operations are real pixel transforms (integer BT.601 color
+// conversion, quarter-turn rotations, bilinear scaling), so the player can
+// assemble an actual scanout path and tests can verify it end to end.
+package display
+
+import (
+	"fmt"
+
+	"evr/internal/frame"
+)
+
+// divRound divides with round-half-away-from-zero, correct for negatives.
+func divRound(num, den int) int {
+	if num >= 0 {
+		return (num + den/2) / den
+	}
+	return -((-num + den/2) / den)
+}
+
+// RGBToYCbCr converts an 8-bit RGB triple to full-range BT.601 YCbCr using
+// integer arithmetic, as display/codec hardware does.
+func RGBToYCbCr(r, g, b byte) (y, cb, cr byte) {
+	ri, gi, bi := int(r), int(g), int(b)
+	yy := divRound(299*ri+587*gi+114*bi, 1000)
+	cbb := 128 + divRound(-168736*ri-331264*gi+500000*bi, 1000000)
+	crr := 128 + divRound(500000*ri-418688*gi-81312*bi, 1000000)
+	return clamp8(yy), clamp8(cbb), clamp8(crr)
+}
+
+// YCbCrToRGB inverts RGBToYCbCr (within integer rounding).
+func YCbCrToRGB(y, cb, cr byte) (r, g, b byte) {
+	yi := int(y)
+	cbi := int(cb) - 128
+	cri := int(cr) - 128
+	rr := yi + divRound(1402*cri, 1000)
+	gg := yi - divRound(344136*cbi+714136*cri, 1000000)
+	bb := yi + divRound(1772*cbi, 1000)
+	return clamp8(rr), clamp8(gg), clamp8(bb)
+}
+
+func clamp8(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
+}
+
+// ToYCbCr converts a whole frame in place-order into a new frame whose
+// channels hold (Y, Cb, Cr).
+func ToYCbCr(f *frame.Frame) *frame.Frame {
+	out := frame.New(f.W, f.H)
+	for i := 0; i < len(f.Pix); i += 3 {
+		y, cb, cr := RGBToYCbCr(f.Pix[i], f.Pix[i+1], f.Pix[i+2])
+		out.Pix[i], out.Pix[i+1], out.Pix[i+2] = y, cb, cr
+	}
+	return out
+}
+
+// ToRGB converts a (Y, Cb, Cr) frame back to RGB.
+func ToRGB(f *frame.Frame) *frame.Frame {
+	out := frame.New(f.W, f.H)
+	for i := 0; i < len(f.Pix); i += 3 {
+		r, g, b := YCbCrToRGB(f.Pix[i], f.Pix[i+1], f.Pix[i+2])
+		out.Pix[i], out.Pix[i+1], out.Pix[i+2] = r, g, b
+	}
+	return out
+}
+
+// Rotation selects a quarter-turn scanout rotation (HMD panels are often
+// mounted rotated).
+type Rotation int
+
+const (
+	Rotate0 Rotation = iota
+	Rotate90
+	Rotate180
+	Rotate270
+)
+
+// Rotate returns the frame rotated clockwise by the given quarter turns.
+func Rotate(f *frame.Frame, rot Rotation) *frame.Frame {
+	switch rot {
+	case Rotate90:
+		out := frame.New(f.H, f.W)
+		for y := 0; y < f.H; y++ {
+			for x := 0; x < f.W; x++ {
+				r, g, b := f.At(x, y)
+				out.Set(f.H-1-y, x, r, g, b)
+			}
+		}
+		return out
+	case Rotate180:
+		out := frame.New(f.W, f.H)
+		for y := 0; y < f.H; y++ {
+			for x := 0; x < f.W; x++ {
+				r, g, b := f.At(x, y)
+				out.Set(f.W-1-x, f.H-1-y, r, g, b)
+			}
+		}
+		return out
+	case Rotate270:
+		out := frame.New(f.H, f.W)
+		for y := 0; y < f.H; y++ {
+			for x := 0; x < f.W; x++ {
+				r, g, b := f.At(x, y)
+				out.Set(y, f.W-1-x, r, g, b)
+			}
+		}
+		return out
+	default:
+		return f.Clone()
+	}
+}
+
+// Scale resizes a frame to (w, h) with bilinear resampling — the display
+// processor's scaler.
+func Scale(f *frame.Frame, w, h int) (*frame.Frame, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("display: target %dx%d must be positive", w, h)
+	}
+	out := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := (float64(x)+0.5)/float64(w)*float64(f.W) - 0.5
+			v := (float64(y)+0.5)/float64(h)*float64(f.H) - 0.5
+			r, g, b := f.BilinearAt(u, v)
+			out.Set(x, y, r, g, b)
+		}
+	}
+	return out, nil
+}
+
+// Pipeline is a scanout configuration: optional rotation then scaling to
+// the panel.
+type Pipeline struct {
+	Rotation       Rotation
+	PanelW, PanelH int
+}
+
+// Process runs a decoded frame through the pipeline.
+func (p Pipeline) Process(f *frame.Frame) (*frame.Frame, error) {
+	out := Rotate(f, p.Rotation)
+	if p.PanelW > 0 && p.PanelH > 0 && (out.W != p.PanelW || out.H != p.PanelH) {
+		return Scale(out, p.PanelW, p.PanelH)
+	}
+	return out, nil
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationSegmentLength(t *testing.T) {
+	tb := AblationSegmentLength(testUsers)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Longer segments must raise the effective miss rate (larger blast
+	// radius per miss under segment-level fallback).
+	m15 := parsePct(t, tb.Rows[0][1])
+	m60 := parsePct(t, tb.Rows[2][1])
+	if m60 <= m15 {
+		t.Errorf("60-frame miss rate %v%% should exceed 15-frame %v%%", m60, m15)
+	}
+}
+
+func TestAblationMargin(t *testing.T) {
+	tb := AblationMargin(testUsers)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Miss rate must fall with margin; storage must grow.
+	prevMiss, prevStorage := 101.0, 0.0
+	for _, row := range tb.Rows {
+		miss := parsePct(t, row[1])
+		storage := parseF(t, row[4])
+		if miss > prevMiss {
+			t.Errorf("miss rate rose with margin: %v", row)
+		}
+		if storage < prevStorage-1e-9 {
+			t.Errorf("storage fell with margin: %v", row)
+		}
+		prevMiss, prevStorage = miss, storage
+	}
+}
+
+func TestAblationPTUsEnergyMinimumAtTwo(t *testing.T) {
+	tb := AblationPTUs()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	energies := map[string]float64{}
+	fps := map[string]float64{}
+	for _, row := range tb.Rows {
+		energies[row[0]] = parseF(t, row[3])
+		fps[row[0]] = parseF(t, row[1])
+	}
+	// One PTU misses 30 FPS; two clears it and is the energy minimum among
+	// real-time configurations.
+	if fps["1"] >= 30 {
+		t.Errorf("1 PTU FPS %v unexpectedly real-time", fps["1"])
+	}
+	if fps["2"] < 30 {
+		t.Errorf("2 PTU FPS %v below real-time", fps["2"])
+	}
+	if !(energies["2"] < energies["4"] && energies["4"] < energies["8"]) {
+		t.Errorf("energy not increasing past 2 PTUs: %v", energies)
+	}
+}
+
+func TestAblationPMEMDiminishingReturns(t *testing.T) {
+	tb := AblationPMEM()
+	refills := make([]float64, len(tb.Rows))
+	for i, row := range tb.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refills[i] = v
+	}
+	// Monotone non-increasing with capacity, with a big first step.
+	for i := 1; i < len(refills); i++ {
+		if refills[i] > refills[i-1] {
+			t.Fatalf("refills rose with capacity: %v", refills)
+		}
+	}
+	if refills[0] < 2*refills[1] {
+		t.Errorf("tiny P-MEM should thrash: %v", refills)
+	}
+}
+
+func TestAblationFilter(t *testing.T) {
+	tb := AblationFilter()
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	nearestMAE, _ := strconv.ParseFloat(tb.Rows[0][1], 64)
+	bilinearMAE, _ := strconv.ParseFloat(tb.Rows[1][1], 64)
+	if bilinearMAE >= nearestMAE {
+		t.Errorf("bilinear MAE %v should beat nearest %v", bilinearMAE, nearestMAE)
+	}
+	if tb.Rows[0][2] != "1" || tb.Rows[1][2] != "4" {
+		t.Error("fetch counts wrong")
+	}
+}
+
+func TestAblationExtensions(t *testing.T) {
+	tb := AblationExtensions(testUsers)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	shipped := parsePct(t, tb.Rows[0][1])
+	predictive := parsePct(t, tb.Rows[1][1])
+	if predictive >= shipped {
+		t.Errorf("predictive choice miss rate %v%% not below shipped %v%%", predictive, shipped)
+	}
+	fusedSave := parseF(t, tb.Rows[2][3])
+	shippedSave := parseF(t, tb.Rows[0][3])
+	if fusedSave <= shippedSave {
+		t.Errorf("fused PTE saving %v%% not above shipped %v%%", fusedSave, shippedSave)
+	}
+	bothSave := parseF(t, tb.Rows[3][3])
+	if bothSave < fusedSave {
+		t.Errorf("combined extensions %v%% below fused alone %v%%", bothSave, fusedSave)
+	}
+}
+
+func TestRelatedWorkComparison(t *testing.T) {
+	tb := RelatedWorkTable(testUsers)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var tiled, sh []string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "tiled streaming":
+			tiled = row
+		case "EVR S+H":
+			sh = row
+		}
+	}
+	// Tiling wins on bandwidth but barely moves device energy; EVR wins on
+	// energy — the §9 argument.
+	if parseF(t, tiled[1]) <= parseF(t, sh[1]) {
+		t.Errorf("tiled bandwidth saving %v%% should exceed S+H %v%%", tiled[1], sh[1])
+	}
+	if parseF(t, sh[2]) <= parseF(t, tiled[2]) {
+		t.Errorf("S+H device saving %v%% should exceed tiled %v%%", sh[2], tiled[2])
+	}
+	// The PT tax survives tiling (its share even grows as other costs
+	// shrink), while EVR removes most of it.
+	if parsePct(t, tiled[3]) < 35 {
+		t.Errorf("tiled PT share %v%% suspiciously low — tiling shouldn't touch PT", tiled[3])
+	}
+	if parsePct(t, sh[3]) >= parsePct(t, tiled[3]) {
+		t.Errorf("S+H PT share %v%% not below tiled %v%%", sh[3], tiled[3])
+	}
+}
+
+func TestAblationOpBreakdown(t *testing.T) {
+	tb := AblationOpBreakdown()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	byName := map[string][]string{}
+	for _, row := range tb.Rows {
+		byName[row[0]] = row
+	}
+	if byName["CMP"][3] != "2" || byName["CMP"][2] != "0" {
+		t.Errorf("CMP row wrong: %v", byName["CMP"])
+	}
+	if byName["ERP"][4] != "1" {
+		t.Errorf("ERP should need one sqrt: %v", byName["ERP"])
+	}
+	if byName["EAC"][2] == "0" || byName["EAC"][3] != "2" {
+		t.Errorf("EAC should pay both CORDIC and dividers: %v", byName["EAC"])
+	}
+}
+
+func TestQoETable(t *testing.T) {
+	tb := QoETable(testUsers)
+	if len(tb.Rows) != 10 {
+		t.Fatalf("rows = %d, want 5 videos x 2 schemes", len(tb.Rows))
+	}
+	for i := 0; i < len(tb.Rows); i += 2 {
+		base, sh := tb.Rows[i], tb.Rows[i+1]
+		if base[1] != "baseline" || sh[1] != "S+H" {
+			t.Fatalf("row order wrong: %v / %v", base, sh)
+		}
+		// S+H's smaller FOV segments must start playback faster.
+		if parseF(t, sh[2]) >= parseF(t, base[2]) {
+			t.Errorf("%s: S+H startup %v ms not below baseline %v ms", base[0], sh[2], base[2])
+		}
+		// On the paper's 300 Mbps link neither scheme should stall much.
+		if parseF(t, base[4]) > 100 || parseF(t, sh[4]) > 100 {
+			t.Errorf("%s: implausible stall time", base[0])
+		}
+	}
+}
+
+func TestAblationsRunAll(t *testing.T) {
+	tables := Ablations(2)
+	if len(tables) != 13 {
+		t.Fatalf("Ablations returned %d tables", len(tables))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s empty", tb.ID)
+		}
+	}
+}
+
+func TestPredictionTable(t *testing.T) {
+	tb := PredictionTable(testUsers)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		a5 := parsePct(t, row[1])
+		a30 := parsePct(t, row[2])
+		a90 := parsePct(t, row[3])
+		if !(a90 <= a30 && a30 <= a5) {
+			t.Errorf("%s: accuracy not decaying with horizon: %v", row[0], row)
+		}
+		if a90 >= 95 {
+			t.Errorf("%s: 3-second linear prediction %v%% suspiciously good", row[0], a90)
+		}
+		if a5 < 50 {
+			t.Errorf("%s: 5-frame prediction %v%% suspiciously bad", row[0], a5)
+		}
+	}
+}
+
+func TestABRTable(t *testing.T) {
+	tb := ABRTable(testUsers)
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 3 links x 2 schemes", len(tb.Rows))
+	}
+	// On the constrained 40 Mbps link, ABR must stall less than fixed-top
+	// while fetching fewer bytes.
+	var fixed40, abr40 []string
+	for i, row := range tb.Rows {
+		if row[0] == "40 Mbps" {
+			if row[1] == "fixed-top" {
+				fixed40 = tb.Rows[i]
+			} else {
+				abr40 = tb.Rows[i]
+			}
+		}
+	}
+	if parseF(t, abr40[3]) >= parseF(t, fixed40[3]) {
+		t.Errorf("ABR stall time %v not below fixed %v on 40 Mbps", abr40[3], fixed40[3])
+	}
+	if parseF(t, abr40[4]) <= 0 {
+		t.Error("ABR never degraded quality on the constrained link")
+	}
+	// On the paper's 300 Mbps link both schemes are stall-free.
+	if parseF(t, tb.Rows[0][2]) != 0 || parseF(t, tb.Rows[1][2]) != 0 {
+		t.Error("300 Mbps link should not stall")
+	}
+}
+
+func TestLatencyTable(t *testing.T) {
+	tb := LatencyTable()
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	gpu := parseF(t, tb.Rows[0][1])
+	pte := parseF(t, tb.Rows[1][1])
+	hit := parseF(t, tb.Rows[2][1])
+	if !(hit < pte && pte < gpu) {
+		t.Errorf("M2P ordering broken: %v %v %v", hit, pte, gpu)
+	}
+	if tb.Rows[2][3] != "decode" {
+		t.Errorf("SAS-hit bottleneck = %q, want decode", tb.Rows[2][3])
+	}
+}
+
+func TestAblationCodecFeatures(t *testing.T) {
+	tb := AblationCodecFeatures()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	basePSNR := parseF(t, tb.Rows[0][2])
+	chromaBytes := parseF(t, tb.Rows[1][3])
+	halfPSNR := parseF(t, tb.Rows[2][2])
+	if chromaBytes >= 100 {
+		t.Errorf("chroma coding did not shrink bytes: %v%%", chromaBytes)
+	}
+	if halfPSNR <= basePSNR-0.2 {
+		t.Errorf("half-pel PSNR %v regressed vs base %v", halfPSNR, basePSNR)
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/scene"
+)
+
+// Fig5 reproduces the object-coverage study (§5.1): for each eval video,
+// the percentage of frames in which at least one of the top-x identified
+// objects falls inside users' viewing areas.
+func Fig5(users int) Table {
+	t := Table{
+		ID:     "Fig 5",
+		Title:  "Frames covered by the top-x identified objects (percent)",
+		Header: []string{"video", "objects", "x=1", "x=half", "x=all"},
+		Notes: []string{
+			"paper: one object already covers 60-80% of frames; all objects reach 80-100%",
+		},
+	}
+	vp := hmd.OSVRHDK2().Viewport()
+	for _, v := range scene.EvalSet() {
+		traces := headtrace.Dataset(v, users)
+		curve := headtrace.CoverageCurve(v, traces, vp)
+		if len(curve) == 0 {
+			continue
+		}
+		half := curve[(len(curve)-1)/2]
+		t.Rows = append(t.Rows, []string{
+			v.Name, fmt.Sprint(len(v.Objects)),
+			f1(curve[0]), f1(half), f1(curve[len(curve)-1]),
+		})
+	}
+	return t
+}
+
+// Fig5Curve exposes the full per-video coverage curve for plotting.
+func Fig5Curve(video string, users int) []float64 {
+	v, ok := scene.ByName(video)
+	if !ok {
+		return nil
+	}
+	return headtrace.CoverageCurve(v, headtrace.Dataset(v, users), hmd.OSVRHDK2().Viewport())
+}
+
+// trackingCone is the gaze-to-object angle that counts as "tracking".
+const trackingCone = 0.35
+
+// Fig6 reproduces the tracking-duration study (§5.1): the cumulative share
+// of tracked time spent in spells of at least x seconds.
+func Fig6(users int) Table {
+	thresholds := []float64{1, 2, 3, 4, 5}
+	t := Table{
+		ID:     "Fig 6",
+		Title:  "Cumulative distribution of object-tracking durations (percent of tracked time)",
+		Header: []string{"video", "≥1s", "≥2s", "≥3s", "≥4s", "≥5s"},
+		Notes: []string{
+			"paper: on average users spend ~47% of time tracking one object for ≥5 s",
+		},
+	}
+	var avg5 float64
+	for _, v := range scene.EvalSet() {
+		traces := headtrace.Dataset(v, users)
+		cdf := headtrace.TrackingCDF(v, traces, trackingCone, thresholds)
+		row := []string{v.Name}
+		for _, c := range cdf {
+			row = append(row, f1(c))
+		}
+		t.Rows = append(t.Rows, row)
+		avg5 += cdf[len(cdf)-1]
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("measured average ≥5s share: %.1f%%", avg5/float64(len(t.Rows))))
+	return t
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden experiment output")
+
+// TestGoldenOutput locks the calibrated experiment results: any change to
+// the energy constants, the gaze model, the SAS design point, or the
+// fixed-point datapath shows up as a diff against the committed golden
+// file. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenOutput -update
+func TestGoldenOutput(t *testing.T) {
+	var b strings.Builder
+	for _, tb := range All(3) {
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "golden_users3.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		// Point at the first differing line to make drift reviewable.
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("calibration drift at line %d:\n got: %s\nwant: %s\n(re-run with -update if intentional)",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("output length changed: %d vs %d lines (re-run with -update if intentional)", len(gl), len(wl))
+	}
+}
+
+// TestGoldenAblations locks the ablation and comparison tables the same way.
+func TestGoldenAblations(t *testing.T) {
+	var b strings.Builder
+	for _, tb := range Ablations(3) {
+		b.WriteString(tb.String())
+		b.WriteString("\n")
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "golden_ablations_users3.txt")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("ablation drift at line %d:\n got: %s\nwant: %s\n(re-run with -update if intentional)",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("output length changed (re-run with -update if intentional)")
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteString("\n")
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "> %s\n", n)
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// WriteReport emits a complete markdown report of every experiment (and,
+// when ablations is set, the beyond-paper studies) at the given user count.
+func WriteReport(w io.Writer, users int, ablations bool) error {
+	fmt.Fprintf(w, "# EVR experiment report\n\n")
+	fmt.Fprintf(w, "Regenerated with %d head traces per video. Every number below\n", users)
+	fmt.Fprintf(w, "comes from the simulation pipelines in this repository; the notes\n")
+	fmt.Fprintf(w, "carry the paper-reported values for comparison.\n\n")
+	tables := All(users)
+	if ablations {
+		tables = append(tables, Ablations(users)...)
+	}
+	for _, tb := range tables {
+		if _, err := io.WriteString(w, tb.Markdown()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

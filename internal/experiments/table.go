@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3, §5.1, §6.3, §8). Each Fig* function runs the relevant
+// pipeline — behavioral simulation over the user corpus, the fixed-point
+// datapath, or the pipeline energy models — and returns a Table whose rows
+// mirror what the paper plots, with the paper's reported numbers attached
+// as notes for side-by-side comparison.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // e.g. "Fig 12"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string // paper-reported values and modeling caveats
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV returns the table as records suitable for encoding/csv: the header
+// row followed by the data rows. Notes are not included.
+func (t Table) CSV() [][]string {
+	out := make([][]string, 0, len(t.Rows)+1)
+	out = append(out, append([]string(nil), t.Header...))
+	for _, r := range t.Rows {
+		out = append(out, append([]string(nil), r...))
+	}
+	return out
+}
+
+// FileStem returns a filesystem-friendly name for the table, e.g. "fig_12".
+func (t Table) FileStem() string {
+	s := strings.ToLower(t.ID)
+	s = strings.NewReplacer(" ", "_", "§", "sec", ".", "_").Replace(s)
+	return s
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }

@@ -1,0 +1,164 @@
+package fixed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tolFor returns an error tolerance appropriate to the format: CORDIC
+// converges to within a few ulps of the representation.
+func tolFor(f Format) float64 {
+	return 16.0 / float64(int64(1)<<uint(f.FracBits()))
+}
+
+func TestSinCosAgainstMath(t *testing.T) {
+	f := Q2810
+	tol := tolFor(f)
+	for deg := -720; deg <= 720; deg += 7 {
+		a := float64(deg) * math.Pi / 180
+		s, c := f.SinCos(f.FromFloat(a))
+		if math.Abs(s.Float()-math.Sin(a)) > tol {
+			t.Errorf("sin(%d°) = %v, want %v", deg, s.Float(), math.Sin(a))
+		}
+		if math.Abs(c.Float()-math.Cos(a)) > tol {
+			t.Errorf("cos(%d°) = %v, want %v", deg, c.Float(), math.Cos(a))
+		}
+	}
+}
+
+func TestSinCosPythagoreanProperty(t *testing.T) {
+	f := Q2810
+	tol := tolFor(f) * 4
+	prop := func(a float64) bool {
+		a = math.Mod(a, 10)
+		s, c := f.SinCos(f.FromFloat(a))
+		sum := s.Mul(s).Add(c.Mul(c)).Float()
+		return math.Abs(sum-1) < tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(20))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtan2Quadrants(t *testing.T) {
+	f := Q2810
+	tol := tolFor(f)
+	cases := []struct{ y, x float64 }{
+		{0, 1}, {1, 1}, {1, 0}, {1, -1}, {0, -1},
+		{-1, -1}, {-1, 0}, {-1, 1},
+		{0.5, 2}, {-0.25, -3}, {3, -0.5},
+	}
+	for _, c := range cases {
+		got := f.Atan2(f.FromFloat(c.y), f.FromFloat(c.x)).Float()
+		want := math.Atan2(c.y, c.x)
+		// atan2(0,-1) may come back as -π; both ends are the same angle.
+		d := math.Abs(got - want)
+		if d > math.Pi {
+			d = 2*math.Pi - d
+		}
+		if d > tol {
+			t.Errorf("atan2(%v, %v) = %v, want %v", c.y, c.x, got, want)
+		}
+	}
+}
+
+func TestAtan2Zero(t *testing.T) {
+	f := Q2810
+	if got := f.Atan2(f.Zero(), f.Zero()); !got.IsZero() {
+		t.Errorf("atan2(0,0) = %v, want 0", got)
+	}
+}
+
+func TestAtan2Property(t *testing.T) {
+	f := Q2810
+	tol := tolFor(f) * 2
+	prop := func(y, x float64) bool {
+		y = math.Mod(y, 100)
+		x = math.Mod(x, 100)
+		if math.Hypot(x, y) < 0.05 {
+			return true // too close to the singularity for fixed point
+		}
+		got := f.Atan2(f.FromFloat(y), f.FromFloat(x)).Float()
+		want := math.Atan2(y, x)
+		d := math.Abs(got - want)
+		if d > math.Pi {
+			d = 2*math.Pi - d
+		}
+		return d < tol
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrtExactSquares(t *testing.T) {
+	f := Q2810
+	tol := tolFor(f)
+	for _, x := range []float64{0, 1, 4, 9, 16, 100, 0.25, 0.0625, 2, 3, 510} {
+		got := f.Sqrt(f.FromFloat(x)).Float()
+		if math.Abs(got-math.Sqrt(x)) > tol {
+			t.Errorf("sqrt(%v) = %v, want %v", x, got, math.Sqrt(x))
+		}
+	}
+}
+
+func TestSqrtNegativeClamps(t *testing.T) {
+	f := Q2810
+	if got := f.Sqrt(f.FromFloat(-4)); !got.IsZero() {
+		t.Errorf("sqrt(-4) = %v, want 0", got)
+	}
+}
+
+func TestSqrtProperty(t *testing.T) {
+	f := Q2810
+	prop := func(x float64) bool {
+		x = math.Abs(math.Mod(x, 500))
+		r := f.Sqrt(f.FromFloat(x))
+		back := r.Mul(r).Float()
+		// sqrt then square must land within a few ulps scaled by the value.
+		return math.Abs(back-x) <= (math.Sqrt(x)+1)*tolFor(f)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(22))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsinAgainstMath(t *testing.T) {
+	f := Q2810
+	tol := tolFor(f) * 4
+	for y := -0.95; y <= 0.95; y += 0.05 {
+		got := f.Asin(f.FromFloat(y)).Float()
+		if math.Abs(got-math.Asin(y)) > tol {
+			t.Errorf("asin(%v) = %v, want %v", y, got, math.Asin(y))
+		}
+	}
+}
+
+func TestAsinClamps(t *testing.T) {
+	f := Q2810
+	if got := f.Asin(f.FromFloat(2)).Float(); math.Abs(got-math.Pi/2) > 1e-3 {
+		t.Errorf("asin(2) = %v, want π/2", got)
+	}
+	if got := f.Asin(f.FromFloat(-2)).Float(); math.Abs(got+math.Pi/2) > 1e-3 {
+		t.Errorf("asin(-2) = %v, want -π/2", got)
+	}
+}
+
+func TestPrecisionImprovesWithWidth(t *testing.T) {
+	// The whole premise of Fig. 11: more fractional bits, less error.
+	narrow := Format{TotalBits: 16, IntBits: 6}
+	wide := Format{TotalBits: 48, IntBits: 6}
+	var errNarrow, errWide float64
+	for deg := 0; deg < 360; deg += 11 {
+		a := float64(deg) * math.Pi / 180
+		sn, _ := narrow.SinCos(narrow.FromFloat(a))
+		sw, _ := wide.SinCos(wide.FromFloat(a))
+		errNarrow += math.Abs(sn.Float() - math.Sin(a))
+		errWide += math.Abs(sw.Float() - math.Sin(a))
+	}
+	if errWide >= errNarrow {
+		t.Errorf("wide error %v should beat narrow error %v", errWide, errNarrow)
+	}
+}

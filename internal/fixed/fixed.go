@@ -1,0 +1,295 @@
+// Package fixed implements the parametric fixed-point arithmetic used by the
+// PTE accelerator datapath (§6.3 of the paper).
+//
+// A Format describes a two's-complement representation with TotalBits total
+// width and IntBits integer bits (sign bit included); the remaining
+// TotalBits-IntBits bits are fractional. The paper's chosen design point is
+// [28, 10]: 28 bits total with 10 integer bits, which keeps the mean pixel
+// error of the reconstructed FOV frame below the visually-indistinguishable
+// 1e-3 threshold (Fig. 11).
+//
+// All arithmetic saturates instead of wrapping, matching the modeled RTL:
+// overflow in a hardware datapath is clamped by the saturation logic at each
+// stage's output register. Transcendental functions (Atan2, SinCos, Asin) are
+// computed with CORDIC in the same format, and Sqrt with a bit-serial
+// integer algorithm, so quantization error accumulates exactly as it would
+// in the accelerator — this is what makes the Fig. 11 sweep meaningful.
+package fixed
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Format describes a fixed-point representation.
+type Format struct {
+	TotalBits int // total width, 2..64
+	IntBits   int // integer bits including sign, 1..TotalBits
+}
+
+// Q2810 is the paper's chosen PTE design point (Fig. 11, "[28, 10]").
+var Q2810 = Format{TotalBits: 28, IntBits: 10}
+
+// Validate reports whether the format is representable by this package.
+func (f Format) Validate() error {
+	if f.TotalBits < 2 || f.TotalBits > 64 {
+		return fmt.Errorf("fixed: total bits %d out of range [2,64]", f.TotalBits)
+	}
+	if f.IntBits < 1 || f.IntBits > f.TotalBits {
+		return fmt.Errorf("fixed: integer bits %d out of range [1,%d]", f.IntBits, f.TotalBits)
+	}
+	return nil
+}
+
+// FracBits returns the number of fractional bits.
+func (f Format) FracBits() int { return f.TotalBits - f.IntBits }
+
+// maxRaw returns the largest representable raw value.
+func (f Format) maxRaw() int64 {
+	if f.TotalBits == 64 {
+		return math.MaxInt64
+	}
+	return (int64(1) << uint(f.TotalBits-1)) - 1
+}
+
+// minRaw returns the smallest (most negative) representable raw value.
+func (f Format) minRaw() int64 {
+	if f.TotalBits == 64 {
+		return math.MinInt64
+	}
+	return -(int64(1) << uint(f.TotalBits-1))
+}
+
+// String implements fmt.Stringer using the paper's [total, int] notation.
+func (f Format) String() string { return fmt.Sprintf("[%d, %d]", f.TotalBits, f.IntBits) }
+
+// Fix is a fixed-point value. The zero value is 0 in an invalid format; use
+// a Format constructor to obtain usable values.
+type Fix struct {
+	Raw int64
+	Fmt Format
+}
+
+// saturate clamps raw into the representable range of f.
+func (f Format) saturate(raw int64) int64 {
+	if raw > f.maxRaw() {
+		return f.maxRaw()
+	}
+	if raw < f.minRaw() {
+		return f.minRaw()
+	}
+	return raw
+}
+
+// FromRaw builds a value from a raw integer, saturating to the format.
+func (f Format) FromRaw(raw int64) Fix { return Fix{Raw: f.saturate(raw), Fmt: f} }
+
+// FromFloat quantizes x (round-to-nearest) into the format, saturating.
+func (f Format) FromFloat(x float64) Fix {
+	scaled := x * float64(int64(1)<<uint(f.FracBits()))
+	if math.IsNaN(scaled) {
+		return Fix{Raw: 0, Fmt: f}
+	}
+	if scaled >= float64(f.maxRaw()) {
+		return Fix{Raw: f.maxRaw(), Fmt: f}
+	}
+	if scaled <= float64(f.minRaw()) {
+		return Fix{Raw: f.minRaw(), Fmt: f}
+	}
+	return Fix{Raw: int64(math.RoundToEven(scaled)), Fmt: f}
+}
+
+// FromInt converts an integer, saturating.
+func (f Format) FromInt(x int) Fix {
+	return f.FromRaw(int64(x) << uint(f.FracBits()))
+}
+
+// Zero returns 0 in the format.
+func (f Format) Zero() Fix { return Fix{Fmt: f} }
+
+// One returns 1.0 in the format (saturated if 1.0 is not representable).
+func (f Format) One() Fix { return f.FromInt(1) }
+
+// Pi returns π in the format.
+func (f Format) Pi() Fix { return f.FromFloat(math.Pi) }
+
+// HalfPi returns π/2 in the format.
+func (f Format) HalfPi() Fix { return f.FromFloat(math.Pi / 2) }
+
+// Epsilon returns the smallest positive representable value.
+func (f Format) Epsilon() Fix { return Fix{Raw: 1, Fmt: f} }
+
+// Float converts the value back to float64.
+func (a Fix) Float() float64 {
+	return float64(a.Raw) / float64(int64(1)<<uint(a.Fmt.FracBits()))
+}
+
+// Int returns the integer part, truncating toward negative infinity.
+func (a Fix) Int() int { return int(a.Raw >> uint(a.Fmt.FracBits())) }
+
+// String implements fmt.Stringer.
+func (a Fix) String() string { return fmt.Sprintf("%g%s", a.Float(), a.Fmt) }
+
+// Add returns a+b saturated. Both operands must share a format.
+func (a Fix) Add(b Fix) Fix { return a.Fmt.FromRaw(a.Raw + b.Raw) }
+
+// Sub returns a-b saturated.
+func (a Fix) Sub(b Fix) Fix { return a.Fmt.FromRaw(a.Raw - b.Raw) }
+
+// Neg returns -a saturated.
+func (a Fix) Neg() Fix { return a.Fmt.FromRaw(-a.Raw) }
+
+// Abs returns |a| saturated.
+func (a Fix) Abs() Fix {
+	if a.Raw < 0 {
+		return a.Neg()
+	}
+	return a
+}
+
+// Cmp returns -1, 0, or +1 as a is less than, equal to, or greater than b.
+func (a Fix) Cmp(b Fix) int {
+	switch {
+	case a.Raw < b.Raw:
+		return -1
+	case a.Raw > b.Raw:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// IsZero reports whether the value is exactly zero.
+func (a Fix) IsZero() bool { return a.Raw == 0 }
+
+// Mul returns a·b with a full-width intermediate product, rounded to nearest
+// and saturated — the behaviour of a hardware MAC with a wide accumulator
+// and an output saturator.
+func (a Fix) Mul(b Fix) Fix {
+	hi, lo := mul128(a.Raw, b.Raw)
+	frac := uint(a.Fmt.FracBits())
+	// Round to nearest: add half-ulp before shifting right.
+	half := uint64(0)
+	if frac > 0 {
+		half = uint64(1) << (frac - 1)
+	}
+	var carry uint64
+	lo, carry = bits.Add64(lo, half, 0)
+	hi += int64(carry) // signed addition of the carry into the high word
+	// Arithmetic shift of the 128-bit value (hi:lo) right by frac bits.
+	shifted := shiftRight128(hi, lo, frac)
+	return a.Fmt.FromRaw(shifted)
+}
+
+// Div returns a/b rounded toward zero and saturated. Division by zero
+// saturates to the sign of a (the RTL raises a sticky flag and clamps).
+func (a Fix) Div(b Fix) Fix {
+	if b.Raw == 0 {
+		if a.Raw >= 0 {
+			return Fix{Raw: a.Fmt.maxRaw(), Fmt: a.Fmt}
+		}
+		return Fix{Raw: a.Fmt.minRaw(), Fmt: a.Fmt}
+	}
+	neg := (a.Raw < 0) != (b.Raw < 0)
+	ua := uint64(abs64(a.Raw))
+	ub := uint64(abs64(b.Raw))
+	// (ua << frac) / ub with a 128-bit numerator.
+	frac := uint(a.Fmt.FracBits())
+	hi := ua >> (64 - frac) // frac is < 64
+	lo := ua << frac
+	if frac == 0 {
+		hi, lo = 0, ua
+	}
+	if hi >= ub {
+		// Quotient would overflow 64 bits; saturate.
+		if neg {
+			return Fix{Raw: a.Fmt.minRaw(), Fmt: a.Fmt}
+		}
+		return Fix{Raw: a.Fmt.maxRaw(), Fmt: a.Fmt}
+	}
+	q, _ := bits.Div64(hi, lo, ub)
+	if q > uint64(math.MaxInt64) {
+		q = uint64(math.MaxInt64)
+	}
+	r := int64(q)
+	if neg {
+		r = -r
+	}
+	return a.Fmt.FromRaw(r)
+}
+
+// MulInt returns a·k for a plain integer k, saturated.
+func (a Fix) MulInt(k int) Fix {
+	hi, lo := mul128(a.Raw, int64(k))
+	return a.Fmt.FromRaw(shiftRight128(hi, lo, 0))
+}
+
+// Shr returns a >> n (arithmetic), the hardware's cheap divide-by-2ⁿ.
+func (a Fix) Shr(n uint) Fix { return Fix{Raw: a.Raw >> n, Fmt: a.Fmt} }
+
+// Shl returns a << n, saturated.
+func (a Fix) Shl(n uint) Fix {
+	r := a.Raw
+	for i := uint(0); i < n; i++ {
+		r2 := r << 1
+		if (r2 >> 1) != r { // overflow of int64 itself
+			if r > 0 {
+				return Fix{Raw: a.Fmt.maxRaw(), Fmt: a.Fmt}
+			}
+			return Fix{Raw: a.Fmt.minRaw(), Fmt: a.Fmt}
+		}
+		r = r2
+	}
+	return a.Fmt.FromRaw(r)
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// mul128 returns the signed 128-bit product of a and b as (hi, lo).
+func mul128(a, b int64) (hi int64, lo uint64) {
+	neg := (a < 0) != (b < 0)
+	uhi, ulo := bits.Mul64(uint64(abs64(a)), uint64(abs64(b)))
+	if !neg {
+		return int64(uhi), ulo
+	}
+	// Two's complement negation of the 128-bit value.
+	lo = ^ulo + 1
+	hi = ^int64(uhi)
+	if lo == 0 {
+		hi++
+	}
+	return hi, lo
+}
+
+// shiftRight128 arithmetically shifts the signed 128-bit value (hi:lo) right
+// by n (< 64) bits and returns the low 64 bits of the result, saturating if
+// the true result does not fit in an int64.
+func shiftRight128(hi int64, lo uint64, n uint) int64 {
+	var r uint64
+	if n == 0 {
+		r = lo
+	} else {
+		r = (lo >> n) | (uint64(hi) << (64 - n))
+	}
+	top := hi >> n // remaining high part after the shift
+	if n == 0 {
+		top = hi
+	}
+	// The result fits iff top is the sign extension of r.
+	if top == 0 && r <= uint64(math.MaxInt64) {
+		return int64(r)
+	}
+	if top == -1 && int64(r) < 0 {
+		return int64(r)
+	}
+	if hi >= 0 {
+		return math.MaxInt64
+	}
+	return math.MinInt64
+}

@@ -1,0 +1,163 @@
+// Package frame provides the RGB raster type shared by every stage of the
+// pipeline: the scene renderer produces frames, the codec compresses them,
+// the PT implementations (GPU reference and PTE fixed-point) read full
+// frames and write FOV frames, and the quality package compares them.
+//
+// Pixels are 24-bit RGB (8 bits per channel), stored row-major in a single
+// backing slice, matching the "24-bit RGB pixel value" the paper's PT
+// datapath returns per pixel (§6.1).
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// Frame is a W×H RGB24 raster. The zero value is an empty frame.
+type Frame struct {
+	W, H int
+	Pix  []byte // len = W*H*3, row-major, R G B per pixel
+}
+
+// New allocates a zeroed (black) frame of the given dimensions.
+func New(w, h int) *Frame {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("frame: negative dimensions %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]byte, w*h*3)}
+}
+
+// Clone returns a deep copy of f.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{W: f.W, H: f.H, Pix: make([]byte, len(f.Pix))}
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// Bytes returns the raw pixel payload size in bytes.
+func (f *Frame) Bytes() int { return len(f.Pix) }
+
+// In reports whether (x, y) lies inside the frame.
+func (f *Frame) In(x, y int) bool { return x >= 0 && x < f.W && y >= 0 && y < f.H }
+
+// At returns the pixel at (x, y). Out-of-range coordinates are clamped to
+// the border, the same edge policy as the PTE's filtering stage.
+func (f *Frame) At(x, y int) (r, g, b byte) {
+	x, y = f.clamp(x, y)
+	i := (y*f.W + x) * 3
+	return f.Pix[i], f.Pix[i+1], f.Pix[i+2]
+}
+
+// Set writes the pixel at (x, y). Out-of-range coordinates are ignored.
+func (f *Frame) Set(x, y int, r, g, b byte) {
+	if !f.In(x, y) {
+		return
+	}
+	i := (y*f.W + x) * 3
+	f.Pix[i], f.Pix[i+1], f.Pix[i+2] = r, g, b
+}
+
+func (f *Frame) clamp(x, y int) (int, int) {
+	if x < 0 {
+		x = 0
+	}
+	if x >= f.W {
+		x = f.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	return x, y
+}
+
+// Fill sets every pixel to the given color.
+func (f *Frame) Fill(r, g, b byte) {
+	for i := 0; i < len(f.Pix); i += 3 {
+		f.Pix[i], f.Pix[i+1], f.Pix[i+2] = r, g, b
+	}
+}
+
+// Luma returns the integer BT.601 luma of the pixel at (x, y), in [0, 255].
+func (f *Frame) Luma(x, y int) int {
+	r, g, b := f.At(x, y)
+	return (299*int(r) + 587*int(g) + 114*int(b)) / 1000
+}
+
+// BilinearAt samples the frame at fractional coordinates (u, v) with
+// bilinear interpolation, the reference (float) version of the PTE's
+// bilinear filtering function.
+func (f *Frame) BilinearAt(u, v float64) (r, g, b byte) {
+	x0 := int(math.Floor(u))
+	y0 := int(math.Floor(v))
+	fx := u - float64(x0)
+	fy := v - float64(y0)
+	r00, g00, b00 := f.At(x0, y0)
+	r10, g10, b10 := f.At(x0+1, y0)
+	r01, g01, b01 := f.At(x0, y0+1)
+	r11, g11, b11 := f.At(x0+1, y0+1)
+	lerp2 := func(c00, c10, c01, c11 byte) byte {
+		top := float64(c00)*(1-fx) + float64(c10)*fx
+		bot := float64(c01)*(1-fx) + float64(c11)*fx
+		v := top*(1-fy) + bot*fy
+		return byte(math.Round(math.Min(255, math.Max(0, v))))
+	}
+	return lerp2(r00, r10, r01, r11), lerp2(g00, g10, g01, g11), lerp2(b00, b10, b01, b11)
+}
+
+// Equal reports whether two frames have identical dimensions and pixels.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.W != g.W || f.H != g.H {
+		return false
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != g.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MAE returns the mean absolute per-channel error between two equally-sized
+// frames, normalized to [0, 1]. This is the "average pixel error" metric of
+// Fig. 11; the paper's visually-indistinguishable threshold is 1e-3.
+func MAE(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("frame: MAE dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	if len(a.Pix) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a.Pix {
+		d := int(a.Pix[i]) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum / float64(len(a.Pix)) / 255
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between two
+// equally-sized frames. Identical frames return +Inf.
+func PSNR(a, b *Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("frame: PSNR dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	if len(a.Pix) == 0 {
+		return math.Inf(1)
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(int(a.Pix[i]) - int(b.Pix[i]))
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}

@@ -1,0 +1,151 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSphericalCartesianRoundTrip(t *testing.T) {
+	f := func(theta, phi float64) bool {
+		s := Spherical{
+			Theta: WrapAngle(math.Mod(theta, math.Pi)),
+			Phi:   math.Mod(phi, math.Pi/2) * 0.99,
+		}
+		got := FromCartesian(s.ToCartesian())
+		return almostEq(WrapAngle(got.Theta-s.Theta), 0, 1e-9) && almostEq(got.Phi, s.Phi, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSphericalAxes(t *testing.T) {
+	cases := []struct {
+		s Spherical
+		v Vec3
+	}{
+		{Spherical{0, 0}, Vec3{0, 0, 1}},
+		{Spherical{math.Pi / 2, 0}, Vec3{1, 0, 0}},
+		{Spherical{-math.Pi / 2, 0}, Vec3{-1, 0, 0}},
+		{Spherical{0, math.Pi / 2}, Vec3{0, 1, 0}},
+		{Spherical{0, -math.Pi / 2}, Vec3{0, -1, 0}},
+	}
+	for _, c := range cases {
+		if got := c.s.ToCartesian(); !vecAlmostEq(got, c.v, eps) {
+			t.Errorf("ToCartesian(%+v) = %v, want %v", c.s, got, c.v)
+		}
+	}
+}
+
+func TestFromCartesianZero(t *testing.T) {
+	if got := FromCartesian(Vec3{}); got != (Spherical{}) {
+		t.Errorf("FromCartesian(0) = %+v", got)
+	}
+}
+
+func TestOrientationForward(t *testing.T) {
+	// Identity orientation looks along +Z.
+	if got := (Orientation{}).Forward(); !vecAlmostEq(got, Vec3{0, 0, 1}, eps) {
+		t.Errorf("identity forward = %v", got)
+	}
+	// Positive yaw of 90° looks along +X.
+	if got := (Orientation{Yaw: math.Pi / 2}).Forward(); !vecAlmostEq(got, Vec3{1, 0, 0}, eps) {
+		t.Errorf("yaw 90° forward = %v", got)
+	}
+	// Positive pitch of 90° looks straight up (+Y).
+	if got := (Orientation{Pitch: math.Pi / 2}).Forward(); !vecAlmostEq(got, Vec3{0, 1, 0}, eps) {
+		t.Errorf("pitch 90° forward = %v", got)
+	}
+}
+
+func TestOrientationMatchesSpherical(t *testing.T) {
+	// Orientation{yaw,pitch}.Forward must agree with Spherical{yaw,pitch}.
+	f := func(yaw, pitch float64) bool {
+		yaw = math.Mod(yaw, math.Pi)
+		pitch = math.Mod(pitch, math.Pi/2) * 0.99
+		o := Orientation{Yaw: yaw, Pitch: pitch}
+		s := Spherical{Theta: yaw, Phi: pitch}
+		return vecAlmostEq(o.Forward(), s.ToCartesian(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookAtInvertsForward(t *testing.T) {
+	f := func(yaw, pitch float64) bool {
+		o := Orientation{Yaw: math.Mod(yaw, math.Pi), Pitch: math.Mod(pitch, math.Pi/2) * 0.99}
+		got := LookAt(o.Forward())
+		return almostEq(WrapAngle(got.Yaw-o.Yaw), 0, 1e-9) && almostEq(got.Pitch, o.Pitch, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngularDistance(t *testing.T) {
+	a := Orientation{Yaw: 0}
+	b := Orientation{Yaw: math.Pi / 2}
+	if got := a.AngularDistance(b); !almostEq(got, math.Pi/2, eps) {
+		t.Errorf("distance = %v, want π/2", got)
+	}
+	if got := a.AngularDistance(a); !almostEq(got, 0, eps) {
+		t.Errorf("self distance = %v", got)
+	}
+	c := Orientation{Yaw: math.Pi}
+	if got := a.AngularDistance(c); !almostEq(got, math.Pi, eps) {
+		t.Errorf("antipodal distance = %v, want π", got)
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-2.5 * math.Pi, -math.Pi / 2},
+	}
+	for _, c := range cases {
+		if got := WrapAngle(c.in); !almostEq(got, c.want, eps) {
+			t.Errorf("WrapAngle(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOrientationLerpShortWay(t *testing.T) {
+	a := Orientation{Yaw: Radians(170)}
+	b := Orientation{Yaw: Radians(-170)}
+	mid := a.Lerp(b, 0.5)
+	// Short way crosses ±180°, so the midpoint is 180°, not 0°.
+	if !almostEq(math.Abs(mid.Yaw), math.Pi, 1e-9) {
+		t.Errorf("lerp midpoint yaw = %v°, want ±180°", Degrees(mid.Yaw))
+	}
+}
+
+func TestNormalizeClampsPitch(t *testing.T) {
+	o := Orientation{Pitch: 2.0}.Normalize()
+	if o.Pitch != math.Pi/2 {
+		t.Errorf("pitch = %v, want clamped to π/2", o.Pitch)
+	}
+	o = Orientation{Pitch: -2.0}.Normalize()
+	if o.Pitch != -math.Pi/2 {
+		t.Errorf("pitch = %v, want clamped to -π/2", o.Pitch)
+	}
+}
+
+func TestDegreesRadians(t *testing.T) {
+	if !almostEq(Degrees(math.Pi), 180, eps) || !almostEq(Radians(180), math.Pi, eps) {
+		t.Error("degree/radian conversion broken")
+	}
+	f := func(x float64) bool {
+		x = math.Mod(x, 1e6)
+		return almostEq(Radians(Degrees(x)), x, math.Abs(x)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package geom
+
+import "math"
+
+// Quat is a rotation quaternion (W + Xi + Yj + Zk). Real IMUs report head
+// pose as quaternions; this type provides the conversions to and from the
+// yaw/pitch Euler form the rest of the pipeline uses, plus spherical linear
+// interpolation for trace resampling.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// IdentityQuat returns the no-rotation quaternion.
+func IdentityQuat() Quat { return Quat{W: 1} }
+
+// QuatFromAxisAngle builds the quaternion rotating by angle radians about
+// the (not necessarily unit) axis.
+func QuatFromAxisAngle(axis Vec3, angle float64) Quat {
+	a := axis.Normalize()
+	s, c := math.Sincos(angle / 2)
+	return Quat{W: c, X: a.X * s, Y: a.Y * s, Z: a.Z * s}
+}
+
+// QuatFromOrientation converts a yaw/pitch/roll orientation into the
+// equivalent quaternion: q = Ry(yaw) · Rx(-pitch) · Rz(roll), matching
+// Orientation.Matrix.
+func QuatFromOrientation(o Orientation) Quat {
+	qy := QuatFromAxisAngle(Vec3{Y: 1}, o.Yaw)
+	qx := QuatFromAxisAngle(Vec3{X: 1}, -o.Pitch)
+	qz := QuatFromAxisAngle(Vec3{Z: 1}, o.Roll)
+	return qy.Mul(qx).Mul(qz)
+}
+
+// Mul returns the Hamilton product q·r (apply r first, then q).
+func (q Quat) Mul(r Quat) Quat {
+	return Quat{
+		W: q.W*r.W - q.X*r.X - q.Y*r.Y - q.Z*r.Z,
+		X: q.W*r.X + q.X*r.W + q.Y*r.Z - q.Z*r.Y,
+		Y: q.W*r.Y - q.X*r.Z + q.Y*r.W + q.Z*r.X,
+		Z: q.W*r.Z + q.X*r.Y - q.Y*r.X + q.Z*r.W,
+	}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{W: q.W, X: -q.X, Y: -q.Y, Z: -q.Z} }
+
+// Norm returns the quaternion magnitude.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalize returns the unit quaternion; the zero quaternion becomes
+// identity.
+func (q Quat) Normalize() Quat {
+	n := q.Norm()
+	if n == 0 {
+		return IdentityQuat()
+	}
+	return Quat{W: q.W / n, X: q.X / n, Y: q.Y / n, Z: q.Z / n}
+}
+
+// Rotate applies the rotation to a vector: q·v·q*.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	p := Quat{X: v.X, Y: v.Y, Z: v.Z}
+	r := q.Mul(p).Mul(q.Conj())
+	return Vec3{X: r.X, Y: r.Y, Z: r.Z}
+}
+
+// Matrix returns the equivalent rotation matrix.
+func (q Quat) Matrix() Mat3 {
+	q = q.Normalize()
+	w, x, y, z := q.W, q.X, q.Y, q.Z
+	return Mat3{
+		{1 - 2*(y*y+z*z), 2 * (x*y - w*z), 2 * (x*z + w*y)},
+		{2 * (x*y + w*z), 1 - 2*(x*x+z*z), 2 * (y*z - w*x)},
+		{2 * (x*z - w*y), 2 * (y*z + w*x), 1 - 2*(x*x+y*y)},
+	}
+}
+
+// Orientation extracts yaw/pitch/roll per the Orientation convention
+// (gaze = rotated +Z; positive pitch up).
+func (q Quat) Orientation() Orientation {
+	fwd := q.Rotate(Vec3{Z: 1})
+	o := LookAt(fwd)
+	// Recover roll: the rotated +X axis, expressed after undoing yaw and
+	// pitch, reveals the residual rotation about the gaze axis.
+	inv := QuatFromOrientation(Orientation{Yaw: o.Yaw, Pitch: o.Pitch}).Conj()
+	residual := inv.Mul(q)
+	right := residual.Rotate(Vec3{X: 1})
+	o.Roll = math.Atan2(right.Y, right.X)
+	return o.Normalize()
+}
+
+// Dot returns the 4-D dot product.
+func (q Quat) Dot(r Quat) float64 {
+	return q.W*r.W + q.X*r.X + q.Y*r.Y + q.Z*r.Z
+}
+
+// Slerp spherically interpolates between two unit quaternions, taking the
+// short arc. t=0 yields q, t=1 yields r.
+func (q Quat) Slerp(r Quat, t float64) Quat {
+	q = q.Normalize()
+	r = r.Normalize()
+	d := q.Dot(r)
+	if d < 0 { // short arc: quaternions double-cover rotations
+		r = Quat{W: -r.W, X: -r.X, Y: -r.Y, Z: -r.Z}
+		d = -d
+	}
+	if d > 0.9995 {
+		// Nearly parallel: fall back to normalized lerp.
+		return Quat{
+			W: q.W + (r.W-q.W)*t,
+			X: q.X + (r.X-q.X)*t,
+			Y: q.Y + (r.Y-q.Y)*t,
+			Z: q.Z + (r.Z-q.Z)*t,
+		}.Normalize()
+	}
+	theta := math.Acos(d)
+	sinTheta := math.Sin(theta)
+	a := math.Sin((1-t)*theta) / sinTheta
+	b := math.Sin(t*theta) / sinTheta
+	return Quat{
+		W: a*q.W + b*r.W,
+		X: a*q.X + b*r.X,
+		Y: a*q.Y + b*r.Y,
+		Z: a*q.Z + b*r.Z,
+	}
+}
+
+// AngleTo returns the rotation angle between two unit quaternions.
+func (q Quat) AngleTo(r Quat) float64 {
+	d := math.Abs(q.Normalize().Dot(r.Normalize()))
+	if d > 1 {
+		d = 1
+	}
+	return 2 * math.Acos(d)
+}

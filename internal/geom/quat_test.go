@@ -1,0 +1,166 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randOrientation(rng *rand.Rand) Orientation {
+	return Orientation{
+		Yaw:   (rng.Float64()*2 - 1) * math.Pi * 0.99,
+		Pitch: (rng.Float64()*2 - 1) * math.Pi / 2 * 0.95,
+		Roll:  (rng.Float64()*2 - 1) * math.Pi * 0.9,
+	}
+}
+
+func TestIdentityQuat(t *testing.T) {
+	q := IdentityQuat()
+	v := Vec3{1, 2, 3}
+	if got := q.Rotate(v); !vecAlmostEq(got, v, eps) {
+		t.Errorf("identity rotation moved the vector: %v", got)
+	}
+	if q.Norm() != 1 {
+		t.Errorf("identity norm = %v", q.Norm())
+	}
+}
+
+func TestQuatAxisAngle(t *testing.T) {
+	// 90° about +Y takes +Z to +X (same as RotationY).
+	q := QuatFromAxisAngle(Vec3{Y: 1}, math.Pi/2)
+	if got := q.Rotate(Vec3{Z: 1}); !vecAlmostEq(got, Vec3{X: 1}, 1e-12) {
+		t.Errorf("quat rotation = %v, want +X", got)
+	}
+}
+
+func TestQuatMatchesOrientationMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for i := 0; i < 200; i++ {
+		o := randOrientation(rng)
+		q := QuatFromOrientation(o)
+		m := o.Matrix()
+		v := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if !vecAlmostEq(q.Rotate(v), m.Apply(v), 1e-9) {
+			t.Fatalf("quat and matrix disagree for %+v", o)
+		}
+		// And the explicit matrix conversion agrees too.
+		qm := q.Matrix()
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				if !almostEq(qm[r][c], m[r][c], 1e-9) {
+					t.Fatalf("Matrix() disagrees at (%d,%d)", r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestQuatOrientationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 300; i++ {
+		o := randOrientation(rng)
+		back := QuatFromOrientation(o).Orientation()
+		if !almostEq(WrapAngle(back.Yaw-o.Yaw), 0, 1e-9) ||
+			!almostEq(back.Pitch, o.Pitch, 1e-9) ||
+			!almostEq(WrapAngle(back.Roll-o.Roll), 0, 1e-9) {
+			t.Fatalf("round trip %+v -> %+v", o, back)
+		}
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	// Rotating by q then r equals rotating by r·q.
+	q := QuatFromAxisAngle(Vec3{Y: 1}, 0.7)
+	r := QuatFromAxisAngle(Vec3{X: 1}, -0.3)
+	v := Vec3{0.2, -0.5, 0.8}
+	a := r.Rotate(q.Rotate(v))
+	b := r.Mul(q).Rotate(v)
+	if !vecAlmostEq(a, b, 1e-12) {
+		t.Errorf("composition broken: %v vs %v", a, b)
+	}
+}
+
+func TestQuatConjInverts(t *testing.T) {
+	prop := func(ax, ay, az, ang float64) bool {
+		axis := Vec3{math.Mod(ax, 3) + 0.1, math.Mod(ay, 3), math.Mod(az, 3)}
+		q := QuatFromAxisAngle(axis, math.Mod(ang, math.Pi))
+		v := Vec3{1, -2, 0.5}
+		return vecAlmostEq(q.Conj().Rotate(q.Rotate(v)), v, 1e-9)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(102))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeZeroQuat(t *testing.T) {
+	if got := (Quat{}).Normalize(); got != IdentityQuat() {
+		t.Errorf("zero quat normalized to %+v", got)
+	}
+}
+
+func TestSlerpEndpointsAndMidpoint(t *testing.T) {
+	q := QuatFromAxisAngle(Vec3{Y: 1}, 0)
+	r := QuatFromAxisAngle(Vec3{Y: 1}, math.Pi/2)
+	if got := q.Slerp(r, 0); got.AngleTo(q) > 1e-9 {
+		t.Error("slerp(0) != q")
+	}
+	if got := q.Slerp(r, 1); got.AngleTo(r) > 1e-9 {
+		t.Error("slerp(1) != r")
+	}
+	mid := q.Slerp(r, 0.5)
+	want := QuatFromAxisAngle(Vec3{Y: 1}, math.Pi/4)
+	if mid.AngleTo(want) > 1e-9 {
+		t.Errorf("slerp midpoint off by %v rad", mid.AngleTo(want))
+	}
+}
+
+func TestSlerpConstantAngularVelocity(t *testing.T) {
+	q := IdentityQuat()
+	r := QuatFromAxisAngle(Vec3{X: 1, Y: 1}.Normalize(), 2.0)
+	prev := q
+	var steps []float64
+	for i := 1; i <= 10; i++ {
+		cur := q.Slerp(r, float64(i)/10)
+		steps = append(steps, prev.AngleTo(cur))
+		prev = cur
+	}
+	for i := 1; i < len(steps); i++ {
+		if math.Abs(steps[i]-steps[0]) > 1e-9 {
+			t.Fatalf("slerp steps uneven: %v", steps)
+		}
+	}
+}
+
+func TestSlerpTakesShortArc(t *testing.T) {
+	// q and -q represent the same rotation; slerp must not swing around
+	// the long way.
+	q := QuatFromAxisAngle(Vec3{Y: 1}, 0.1)
+	r := QuatFromAxisAngle(Vec3{Y: 1}, 0.2)
+	neg := Quat{W: -r.W, X: -r.X, Y: -r.Y, Z: -r.Z}
+	mid := q.Slerp(neg, 0.5)
+	want := QuatFromAxisAngle(Vec3{Y: 1}, 0.15)
+	if mid.AngleTo(want) > 1e-9 {
+		t.Errorf("slerp took the long arc: off by %v", mid.AngleTo(want))
+	}
+}
+
+func TestSlerpNearlyParallel(t *testing.T) {
+	q := QuatFromAxisAngle(Vec3{Y: 1}, 1e-7)
+	r := QuatFromAxisAngle(Vec3{Y: 1}, 2e-7)
+	mid := q.Slerp(r, 0.5)
+	if math.Abs(mid.Norm()-1) > 1e-12 {
+		t.Errorf("near-parallel slerp denormalized: %v", mid.Norm())
+	}
+}
+
+func TestAngleTo(t *testing.T) {
+	q := IdentityQuat()
+	r := QuatFromAxisAngle(Vec3{Z: 1}, 1.2)
+	if got := q.AngleTo(r); !almostEq(got, 1.2, 1e-12) {
+		t.Errorf("AngleTo = %v, want 1.2", got)
+	}
+	if got := q.AngleTo(q); !almostEq(got, 0, 1e-9) {
+		t.Errorf("self angle = %v", got)
+	}
+}

@@ -1,0 +1,162 @@
+package gpusim
+
+import (
+	"math"
+	"testing"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/pt"
+)
+
+func testPTConfig() pt.Config {
+	return pt.Config{
+		Projection: projection.ERP,
+		Filter:     pt.Bilinear,
+		Viewport:   projection.Viewport{Width: 40, Height: 40, FOVX: geom.Radians(110), FOVY: geom.Radians(110)},
+	}
+}
+
+func grad(w, h int) *frame.Frame {
+	f := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Set(x, y, byte(x*255/w), byte(y*255/h), 99)
+		}
+	}
+	return f
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig(testPTConfig()).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig(testPTConfig())
+	bad.ActivePowerW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero power accepted")
+	}
+	bad = DefaultConfig(testPTConfig())
+	bad.CacheWays = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero ways accepted")
+	}
+	bad = DefaultConfig(testPTConfig())
+	bad.CacheBytes = 10
+	if err := bad.Validate(); err == nil {
+		t.Error("cache smaller than associativity accepted")
+	}
+}
+
+func TestRenderMatchesReferenceExactly(t *testing.T) {
+	// The GPU path *is* the reference float pipeline; outputs must be
+	// bit-identical to pt.Render.
+	cfg := testPTConfig()
+	g, err := New(DefaultConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := grad(128, 64)
+	o := geom.Orientation{Yaw: 0.6, Pitch: -0.2}
+	if !g.Render(full, o).Equal(pt.Render(cfg, full, o)) {
+		t.Error("GPU output differs from reference PT")
+	}
+}
+
+func TestStatsAndEnergy(t *testing.T) {
+	cfg := DefaultConfig(testPTConfig())
+	g, _ := New(cfg)
+	full := grad(128, 64)
+	g.Render(full, geom.Orientation{})
+	s := g.Stats()
+	if s.Frames != 1 || s.Pixels != 1600 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.TexelFetches != 4*1600 {
+		t.Errorf("bilinear fetches = %d, want %d", s.TexelFetches, 4*1600)
+	}
+	if s.CacheMisses <= 0 || s.CacheMisses >= s.TexelFetches {
+		t.Errorf("cache misses %d implausible vs %d fetches", s.CacheMisses, s.TexelFetches)
+	}
+	if s.DRAMReadBytes != s.CacheMisses*int64(cfg.CacheLineB) {
+		t.Error("DRAM bytes inconsistent with misses")
+	}
+	wantE := s.ActiveSeconds*cfg.ActivePowerW + cfg.StackEnergyJ
+	if math.Abs(s.EnergyJoules-wantE) > 1e-12 {
+		t.Errorf("energy = %v, want %v", s.EnergyJoules, wantE)
+	}
+	g.ResetStats()
+	if g.Stats() != (Stats{}) {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestNearestFetchesOnePerPixel(t *testing.T) {
+	ptCfg := testPTConfig()
+	ptCfg.Filter = pt.Nearest
+	g, _ := New(DefaultConfig(ptCfg))
+	g.Render(grad(128, 64), geom.Orientation{})
+	if s := g.Stats(); s.TexelFetches != 1600 {
+		t.Errorf("nearest fetches = %d, want 1600", s.TexelFetches)
+	}
+}
+
+func TestCacheLocalityAcrossFrames(t *testing.T) {
+	// A second identical frame re-walks the same texels: with a warm cache
+	// the miss count must not double.
+	g, _ := New(DefaultConfig(testPTConfig()))
+	full := grad(96, 48)
+	g.Render(full, geom.Orientation{})
+	firstMisses := g.Stats().CacheMisses
+	g.Render(full, geom.Orientation{})
+	if total := g.Stats().CacheMisses; total >= 2*firstMisses {
+		t.Errorf("no reuse across frames: %d then %d", firstMisses, total-firstMisses)
+	}
+}
+
+func TestFrameEnergyJ(t *testing.T) {
+	cfg := DefaultConfig(testPTConfig())
+	got := cfg.FrameEnergyJ()
+	want := 1600.0/cfg.ThroughputPixPS*cfg.ActivePowerW + cfg.StackEnergyJ
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("FrameEnergyJ = %v, want %v", got, want)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Frames: 1, Pixels: 2, EnergyJoules: 0.5}
+	a.Add(Stats{Frames: 1, Pixels: 3, EnergyJoules: 0.25, CacheMisses: 7})
+	if a.Frames != 2 || a.Pixels != 5 || a.EnergyJoules != 0.75 || a.CacheMisses != 7 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestTexCacheDirectBehavior(t *testing.T) {
+	c := newTexCache(4*16, 16, 2) // 4 lines, 2 ways, 2 sets
+	if c.access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.access(0) {
+		t.Error("warm access missed")
+	}
+	// Fill set 0 (tiles ≡ 0 mod 2): 0, 2 resident; 4 evicts LRU (0).
+	c.access(2)
+	c.access(0) // refresh 0 → LRU is 2
+	c.access(4) // evicts 2
+	if !c.access(0) {
+		t.Error("tile 0 should have survived")
+	}
+	if c.access(2) {
+		t.Error("tile 2 should have been evicted")
+	}
+}
+
+func TestGPUEnergyExceedsPTEClassPower(t *testing.T) {
+	// The premise of HAR: for the same PT work the GPU burns roughly an
+	// order of magnitude more power than the 194 mW PTE.
+	cfg := DefaultConfig(testPTConfig())
+	if cfg.ActivePowerW < 0.194*5 {
+		t.Errorf("GPU active power %v W implausibly close to PTE's 0.194 W", cfg.ActivePowerW)
+	}
+}

@@ -1,0 +1,68 @@
+package headtrace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"evr/internal/geom"
+)
+
+// WriteCSV serializes a trace in the dataset layout emitted by cmd/evrgen:
+// a header row followed by (t, yaw_deg, pitch_deg) records at 4-decimal
+// precision — the same shape as the public head-movement corpora.
+func WriteCSV(w io.Writer, tr Trace) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"t", "yaw_deg", "pitch_deg"}); err != nil {
+		return err
+	}
+	for _, s := range tr.Samples {
+		rec := []string{
+			strconv.FormatFloat(s.T, 'f', 4, 64),
+			strconv.FormatFloat(geom.Degrees(s.O.Yaw), 'f', 4, 64),
+			strconv.FormatFloat(geom.Degrees(s.O.Pitch), 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Video name, FPS, and user
+// index are not stored in the file and must be supplied by the caller (they
+// are encoded in the dataset's directory layout).
+func ReadCSV(r io.Reader, video string, fps, user int) (Trace, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return Trace{}, fmt.Errorf("headtrace: reading CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return Trace{}, fmt.Errorf("headtrace: empty CSV")
+	}
+	hdr := records[0]
+	if len(hdr) != 3 || hdr[0] != "t" || hdr[1] != "yaw_deg" || hdr[2] != "pitch_deg" {
+		return Trace{}, fmt.Errorf("headtrace: unexpected header %v", hdr)
+	}
+	tr := Trace{Video: video, FPS: fps, User: user}
+	for i, rec := range records[1:] {
+		if len(rec) != 3 {
+			return Trace{}, fmt.Errorf("headtrace: row %d has %d fields", i+1, len(rec))
+		}
+		t, err1 := strconv.ParseFloat(rec[0], 64)
+		yaw, err2 := strconv.ParseFloat(rec[1], 64)
+		pitch, err3 := strconv.ParseFloat(rec[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return Trace{}, fmt.Errorf("headtrace: row %d unparsable: %v", i+1, rec)
+		}
+		tr.Samples = append(tr.Samples, Sample{
+			T: t,
+			O: geom.Orientation{Yaw: geom.Radians(yaw), Pitch: geom.Radians(pitch)}.Normalize(),
+		})
+	}
+	return tr, nil
+}

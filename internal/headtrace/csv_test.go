@@ -1,0 +1,68 @@
+package headtrace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"evr/internal/scene"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	v, _ := scene.ByName("RS")
+	orig := Generate(v, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "RS", 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Video != "RS" || back.FPS != 30 || back.User != 3 {
+		t.Errorf("metadata: %+v", back)
+	}
+	if len(back.Samples) != len(orig.Samples) {
+		t.Fatalf("samples: %d vs %d", len(back.Samples), len(orig.Samples))
+	}
+	// 4-decimal degrees ≈ 2e-6 rad quantization.
+	for i := range orig.Samples {
+		if math.Abs(back.Samples[i].O.Yaw-orig.Samples[i].O.Yaw) > 1e-5 ||
+			math.Abs(back.Samples[i].O.Pitch-orig.Samples[i].O.Pitch) > 1e-5 {
+			t.Fatalf("sample %d drifted: %+v vs %+v", i, back.Samples[i], orig.Samples[i])
+		}
+	}
+}
+
+func TestCSVStatsSurviveRoundTrip(t *testing.T) {
+	// The behavioral statistics computed from re-read traces must match
+	// the in-memory ones: the dataset files carry everything needed.
+	v, _ := scene.ByName("Timelapse")
+	orig := Generate(v, 0)
+	var buf bytes.Buffer
+	WriteCSV(&buf, orig)
+	back, err := ReadCSV(&buf, v.Name, v.FPS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := TrackingSpells(v, orig, 0.35)
+	b := TrackingSpells(v, back, 0.35)
+	if len(a) != len(b) {
+		t.Fatalf("spell counts differ: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x,y,z\n1,2,3\n",
+		"t,yaw_deg,pitch_deg\nnot,a,number\n",
+		"t,yaw_deg,pitch_deg\n1.0,2.0\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c), "v", 30, 0); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package headtrace
+
+import (
+	"math"
+	"testing"
+
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/scene"
+)
+
+func hmdViewport() projection.Viewport {
+	return projection.Viewport{Width: 64, Height: 64, FOVX: geom.Radians(110), FOVY: geom.Radians(110)}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	v, _ := scene.ByName("RS")
+	a := Generate(v, 3)
+	b := Generate(v, 3)
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+	c := Generate(v, 4)
+	same := true
+	for i := range a.Samples {
+		if a.Samples[i] != c.Samples[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different users produced identical traces")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	v, _ := scene.ByName("Timelapse")
+	tr := Generate(v, 0)
+	if len(tr.Samples) != v.Frames() {
+		t.Fatalf("trace has %d samples, want %d", len(tr.Samples), v.Frames())
+	}
+	if tr.Video != "Timelapse" || tr.FPS != 30 {
+		t.Errorf("metadata wrong: %+v", tr)
+	}
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].T <= tr.Samples[i-1].T {
+			t.Fatal("timestamps not increasing")
+		}
+	}
+}
+
+func TestHeadTurnRateBounded(t *testing.T) {
+	v, _ := scene.ByName("RS")
+	b := BehaviorFor("RS")
+	tr := Generate(v, 7)
+	dt := 1.0 / float64(tr.FPS)
+	// Jitter adds on top of the turn-rate limit; allow generous slack.
+	limit := b.MaxTurnRate*dt + 6*b.Jitter
+	for i := 1; i < len(tr.Samples); i++ {
+		step := tr.Samples[i-1].O.AngularDistance(tr.Samples[i].O)
+		if step > limit+1e-9 {
+			t.Fatalf("frame %d: head turned %v rad in one frame (limit %v)", i, step, limit)
+		}
+	}
+}
+
+func TestUsersSpendMostTimeOnObjects(t *testing.T) {
+	// §5.1's premise: viewing areas center on objects most of the time.
+	vp := hmdViewport()
+	for _, v := range scene.EvalSet() {
+		traces := Dataset(v, 8)
+		hits, total := 0, 0
+		for _, tr := range traces {
+			for _, s := range tr.Samples {
+				total++
+				for _, obj := range v.ObjectsAt(s.T) {
+					if vp.Contains(s.O, obj.Dir) {
+						hits++
+						break
+					}
+				}
+			}
+		}
+		frac := float64(hits) / float64(total)
+		if frac < 0.6 {
+			t.Errorf("%s: only %.0f%% of frames cover an object, want ≥ 60%%", v.Name, 100*frac)
+		}
+	}
+}
+
+func TestCoverageCurveShape(t *testing.T) {
+	v, _ := scene.ByName("Elephant")
+	traces := Dataset(v, 6)
+	curve := CoverageCurve(v, traces, hmdViewport())
+	if len(curve) != len(v.Objects) {
+		t.Fatalf("curve has %d points, want %d", len(curve), len(v.Objects))
+	}
+	// Monotone nondecreasing, starts ≥ 40 (paper: ≥ 60 with one object for
+	// the real dataset), ends ≥ 80.
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-9 {
+			t.Fatalf("coverage curve not monotone: %v", curve)
+		}
+	}
+	if curve[0] < 40 {
+		t.Errorf("single-object coverage %.1f%% too low", curve[0])
+	}
+	if last := curve[len(curve)-1]; last < 80 {
+		t.Errorf("all-object coverage %.1f%%, want ≥ 80%%", last)
+	}
+}
+
+func TestCoverageCurveEmptyInputs(t *testing.T) {
+	v, _ := scene.ByName("RS")
+	if c := CoverageCurve(v, nil, hmdViewport()); c != nil {
+		t.Error("no traces should give nil")
+	}
+	empty := scene.VideoSpec{Name: "none", Duration: 1, FPS: 30}
+	if c := CoverageCurve(empty, Dataset(empty, 1), hmdViewport()); c != nil {
+		t.Error("no objects should give nil")
+	}
+}
+
+func TestTrackingSpellsBasic(t *testing.T) {
+	v, _ := scene.ByName("Timelapse")
+	tr := Generate(v, 1)
+	spells := TrackingSpells(v, tr, 0.35)
+	if len(spells) == 0 {
+		t.Fatal("no tracking spells found")
+	}
+	var total float64
+	for _, s := range spells {
+		if s <= 0 {
+			t.Fatal("non-positive spell")
+		}
+		total += s
+	}
+	if total > v.Duration+1 {
+		t.Fatalf("spells total %v s exceed video duration", total)
+	}
+	// A steady video should show substantial long spells.
+	var long float64
+	for _, s := range spells {
+		if s >= 3 {
+			long += s
+		}
+	}
+	if long/total < 0.3 {
+		t.Errorf("only %.0f%% of tracked time in ≥3s spells for Timelapse", 100*long/total)
+	}
+}
+
+func TestTrackingCDFMonotone(t *testing.T) {
+	v, _ := scene.ByName("Paris")
+	traces := Dataset(v, 5)
+	ths := []float64{0, 1, 2, 3, 4, 5}
+	cdf := TrackingCDF(v, traces, 0.35, ths)
+	if len(cdf) != len(ths) {
+		t.Fatal("wrong length")
+	}
+	if math.Abs(cdf[0]-100) > 1e-9 {
+		t.Errorf("threshold 0 should cover 100%% of tracked time, got %v", cdf[0])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] > cdf[i-1]+1e-9 {
+			t.Fatalf("CDF not nonincreasing: %v", cdf)
+		}
+	}
+}
+
+func TestFiveSecondTrackingShare(t *testing.T) {
+	// Fig. 6: on average ~47% of tracked time is in spells of ≥ 5 s.
+	// Accept a generous band around that for the synthetic users.
+	var sum float64
+	n := 0
+	for _, v := range scene.EvalSet() {
+		traces := Dataset(v, 6)
+		cdf := TrackingCDF(v, traces, 0.35, []float64{5})
+		sum += cdf[0]
+		n++
+	}
+	avg := sum / float64(n)
+	if avg < 25 || avg > 75 {
+		t.Errorf("≥5s tracking share = %.1f%%, want in [25, 75] (paper: ~47%%)", avg)
+	}
+}
+
+func TestRSMoreExploratoryThanTimelapse(t *testing.T) {
+	// The behavior table must order videos as the paper's miss rates do.
+	rs := BehaviorFor("RS")
+	tl := BehaviorFor("Timelapse")
+	if rs.ExploreProb <= tl.ExploreProb || rs.MeanDwell >= tl.MeanDwell {
+		t.Error("RS must explore more and dwell less than Timelapse")
+	}
+	def := BehaviorFor("SomethingElse")
+	if def.MeanDwell <= 0 || def.ExploreProb <= 0 {
+		t.Error("default behavior must be usable")
+	}
+}
+
+func TestDatasetSize(t *testing.T) {
+	v, _ := scene.ByName("RS")
+	ds := Dataset(v, 3)
+	if len(ds) != 3 {
+		t.Fatalf("dataset has %d traces", len(ds))
+	}
+	for u, tr := range ds {
+		if tr.User != u {
+			t.Errorf("trace %d has user %d", u, tr.User)
+		}
+	}
+	if DatasetUsers != 59 {
+		t.Error("dataset must model the paper's 59 users")
+	}
+}
+
+func TestEmptySceneDoesNotPanic(t *testing.T) {
+	empty := scene.VideoSpec{Name: "empty", Duration: 2, FPS: 30}
+	tr := Generate(empty, 0)
+	if len(tr.Samples) != 60 {
+		t.Fatalf("got %d samples", len(tr.Samples))
+	}
+	if s := TrackingSpells(empty, tr, 0.3); s != nil {
+		t.Error("no objects should give no spells")
+	}
+}

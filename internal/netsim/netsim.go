@@ -1,0 +1,80 @@
+// Package netsim models the streaming network path of the evaluation setup:
+// a WiFi link with an effective bandwidth of 300 Mbps (§8.2), used to
+// compute transfer times (and hence rebuffering pauses on FOV misses) and
+// to drive the network component of the device energy model.
+package netsim
+
+import "fmt"
+
+// Link models a wireless link with fixed effective bandwidth, base latency,
+// and an optional packet-loss rate (retransmissions stretch transfers by
+// the expected 1/(1-loss) factor — a fluid approximation of ARQ).
+type Link struct {
+	BandwidthBps float64 // effective payload bandwidth, bits per second
+	RTTSeconds   float64 // request round-trip latency
+	LossRate     float64 // packet loss probability in [0, 1)
+}
+
+// WiFi300 returns the paper's evaluation link: 300 Mbps effective WiFi with
+// a small campus-network RTT.
+func WiFi300() Link {
+	return Link{BandwidthBps: 300e6, RTTSeconds: 2e-3}
+}
+
+// Validate reports whether the link is usable.
+func (l Link) Validate() error {
+	if l.BandwidthBps <= 0 {
+		return fmt.Errorf("netsim: bandwidth %v bps must be positive", l.BandwidthBps)
+	}
+	if l.RTTSeconds < 0 {
+		return fmt.Errorf("netsim: RTT %v s must be non-negative", l.RTTSeconds)
+	}
+	if l.LossRate < 0 || l.LossRate >= 1 {
+		return fmt.Errorf("netsim: loss rate %v out of [0, 1)", l.LossRate)
+	}
+	return nil
+}
+
+// TransferSeconds returns the time to fetch a payload of the given size,
+// including one round trip and expected retransmissions.
+func (l Link) TransferSeconds(bytes int64) float64 {
+	if bytes <= 0 {
+		return l.RTTSeconds
+	}
+	goodput := l.BandwidthBps * (1 - l.LossRate)
+	return l.RTTSeconds + float64(bytes)*8/goodput
+}
+
+// Stats accumulates transfer activity for bandwidth accounting.
+type Stats struct {
+	Requests      int
+	Bytes         int64
+	BusySeconds   float64
+	RebufferCount int
+	RebufferSecs  float64
+}
+
+// Transfer records a fetch and returns its duration.
+func (s *Stats) Transfer(l Link, bytes int64) float64 {
+	d := l.TransferSeconds(bytes)
+	s.Requests++
+	s.Bytes += bytes
+	s.BusySeconds += d
+	return d
+}
+
+// Rebuffer records a playback stall of the given duration (a blocking
+// mid-stream fetch, e.g. a FOV miss re-requesting the original segment).
+func (s *Stats) Rebuffer(seconds float64) {
+	s.RebufferCount++
+	s.RebufferSecs += seconds
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Requests += o.Requests
+	s.Bytes += o.Bytes
+	s.BusySeconds += o.BusySeconds
+	s.RebufferCount += o.RebufferCount
+	s.RebufferSecs += o.RebufferSecs
+}

@@ -1,0 +1,132 @@
+package netsim
+
+import "fmt"
+
+// Session is a discrete-event model of a segment-granular streaming session
+// — the buffering behaviour behind the FPS-drop and rebuffering results
+// (§8.2): a sequential downloader fills a playback buffer over the Link
+// while the playback clock drains it in real time.
+type Session struct {
+	Link Link
+	// StartupSegments is how many segments must be buffered before
+	// playback starts (the initial buffering policy).
+	StartupSegments int
+	// BufferCapSegments caps how far the downloader runs ahead.
+	BufferCapSegments int
+}
+
+// DefaultSession returns a typical small-buffer streaming policy.
+func DefaultSession(l Link) Session {
+	return Session{Link: l, StartupSegments: 2, BufferCapSegments: 4}
+}
+
+// Validate reports whether the session policy is usable.
+func (s Session) Validate() error {
+	if err := s.Link.Validate(); err != nil {
+		return err
+	}
+	if s.StartupSegments < 1 {
+		return fmt.Errorf("netsim: startup segments %d must be ≥ 1", s.StartupSegments)
+	}
+	if s.BufferCapSegments < s.StartupSegments {
+		return fmt.Errorf("netsim: buffer cap %d below startup %d", s.BufferCapSegments, s.StartupSegments)
+	}
+	return nil
+}
+
+// Stall is one playback interruption.
+type Stall struct {
+	At       float64 // playback-clock position when the buffer ran dry
+	Duration float64
+}
+
+// SessionResult reports the QoE outcome of a run.
+type SessionResult struct {
+	StartupDelay  float64 // wall time before the first frame
+	Stalls        []Stall
+	TotalStall    float64
+	WallTime      float64 // total wall-clock time to play everything
+	PlayTime      float64 // content duration
+	MeanBufferSec float64 // average buffer occupancy while playing
+}
+
+// StallCount returns the number of interruptions.
+func (r SessionResult) StallCount() int { return len(r.Stalls) }
+
+// Run plays a sequence of segment sizes (bytes), each segmentDuration
+// seconds of content, and returns the session QoE. The downloader fetches
+// segments back to back (subject to the buffer cap); playback starts once
+// StartupSegments are buffered and stalls whenever the buffer empties,
+// resuming after the in-flight segment lands.
+func (s Session) Run(segments []int64, segmentDuration float64) (SessionResult, error) {
+	if err := s.Validate(); err != nil {
+		return SessionResult{}, err
+	}
+	if segmentDuration <= 0 {
+		return SessionResult{}, fmt.Errorf("netsim: segment duration %v must be positive", segmentDuration)
+	}
+	var r SessionResult
+	if len(segments) == 0 {
+		return r, nil
+	}
+	n := len(segments)
+	r.PlayTime = float64(n) * segmentDuration
+	arrive := make([]float64, n)    // wall time each segment lands
+	playStart := make([]float64, n) // wall time each segment begins playing
+
+	var clock float64 // downloader wall clock
+	started := false
+	for i := 0; i < n; i++ {
+		// Buffer cap: segment i may start downloading only once segment
+		// i-cap has finished playing. Because the cap is at least the
+		// startup threshold, playStart[i-cap] is already known here.
+		if i >= s.BufferCapSegments {
+			if gate := playStart[i-s.BufferCapSegments] + segmentDuration; clock < gate {
+				clock = gate
+			}
+		}
+		clock += s.Link.TransferSeconds(segments[i])
+		arrive[i] = clock
+
+		if !started && i+1 == s.StartupSegments {
+			// Startup threshold reached: segments 0..i play back to back.
+			started = true
+			r.StartupDelay = clock
+			playStart[0] = clock
+			for j := 1; j <= i; j++ {
+				playStart[j] = playStart[j-1] + segmentDuration
+			}
+			continue
+		}
+		if started {
+			prevEnd := playStart[i-1] + segmentDuration
+			start := prevEnd
+			if arrive[i] > prevEnd {
+				// Buffer ran dry: stall until the segment lands.
+				d := arrive[i] - prevEnd
+				r.Stalls = append(r.Stalls, Stall{At: float64(i) * segmentDuration, Duration: d})
+				r.TotalStall += d
+				start = arrive[i]
+			}
+			playStart[i] = start
+		}
+	}
+	if !started {
+		// Fewer segments than the startup threshold: play once all landed.
+		r.StartupDelay = clock
+		playStart[0] = clock
+		for j := 1; j < n; j++ {
+			playStart[j] = playStart[j-1] + segmentDuration
+		}
+	}
+	r.WallTime = playStart[n-1] + segmentDuration
+	// Mean buffer lead: how far ahead of playback each segment arrived.
+	var occ float64
+	for i := 0; i < n; i++ {
+		if lead := playStart[i] - arrive[i]; lead > 0 {
+			occ += lead
+		}
+	}
+	r.MeanBufferSec = occ / float64(n)
+	return r, nil
+}

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+// testLink transfers 1 MB/s with no RTT for easy arithmetic.
+func testLink() Link { return Link{BandwidthBps: 8e6} }
+
+func TestSessionValidate(t *testing.T) {
+	if err := DefaultSession(WiFi300()).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Session{Link: testLink(), StartupSegments: 0, BufferCapSegments: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero startup accepted")
+	}
+	bad = Session{Link: testLink(), StartupSegments: 3, BufferCapSegments: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("cap below startup accepted")
+	}
+	s := DefaultSession(testLink())
+	if _, err := s.Run([]int64{1}, 0); err == nil {
+		t.Error("zero segment duration accepted")
+	}
+}
+
+func TestSessionEmpty(t *testing.T) {
+	s := DefaultSession(testLink())
+	r, err := s.Run(nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StallCount() != 0 || r.WallTime != 0 {
+		t.Errorf("empty session: %+v", r)
+	}
+}
+
+func TestSessionSmoothPlayback(t *testing.T) {
+	// Segments of 0.5 MB = 0.5 s download each, 1 s of content: downloads
+	// run at twice real time, so after startup there are no stalls.
+	s := Session{Link: testLink(), StartupSegments: 2, BufferCapSegments: 4}
+	segs := make([]int64, 10)
+	for i := range segs {
+		segs[i] = 500_000
+	}
+	r, err := s.Run(segs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StallCount() != 0 {
+		t.Errorf("unexpected stalls: %+v", r.Stalls)
+	}
+	if math.Abs(r.StartupDelay-1.0) > 1e-9 { // two segments × 0.5 s
+		t.Errorf("startup = %v, want 1.0", r.StartupDelay)
+	}
+	if math.Abs(r.WallTime-(1.0+10)) > 1e-9 {
+		t.Errorf("wall time = %v, want 11", r.WallTime)
+	}
+	if r.MeanBufferSec <= 0 {
+		t.Error("buffer lead should be positive")
+	}
+}
+
+func TestSessionUnderprovisionedStalls(t *testing.T) {
+	// 2 MB segments take 2 s to download but hold 1 s of content: every
+	// post-startup segment stalls ~1 s.
+	s := Session{Link: testLink(), StartupSegments: 1, BufferCapSegments: 2}
+	segs := []int64{2_000_000, 2_000_000, 2_000_000, 2_000_000}
+	r, err := s.Run(segs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StallCount() != 3 {
+		t.Fatalf("stalls = %d, want 3: %+v", r.StallCount(), r.Stalls)
+	}
+	if math.Abs(r.TotalStall-3.0) > 1e-9 {
+		t.Errorf("total stall = %v, want 3.0", r.TotalStall)
+	}
+	// Wall time = startup(2) + play(4) + stalls(3).
+	if math.Abs(r.WallTime-9.0) > 1e-9 {
+		t.Errorf("wall time = %v, want 9", r.WallTime)
+	}
+}
+
+func TestSessionOneBigSegmentStall(t *testing.T) {
+	// One oversized segment mid-stream (a FOV miss re-fetching an
+	// original) causes exactly one bounded stall.
+	s := Session{Link: testLink(), StartupSegments: 2, BufferCapSegments: 4}
+	segs := []int64{100_000, 100_000, 100_000, 4_000_000, 100_000, 100_000}
+	r, err := s.Run(segs, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StallCount() != 1 {
+		t.Fatalf("stalls = %d, want 1: %+v", r.StallCount(), r.Stalls)
+	}
+	if r.Stalls[0].Duration <= 0 || r.Stalls[0].Duration > 4 {
+		t.Errorf("stall duration = %v", r.Stalls[0].Duration)
+	}
+}
+
+func TestSessionBufferCapLimitsLead(t *testing.T) {
+	// With a tight cap the downloader cannot run far ahead even on a fast
+	// link; mean buffer lead is bounded by the cap's worth of content.
+	fast := Link{BandwidthBps: 8e9}
+	tight := Session{Link: fast, StartupSegments: 1, BufferCapSegments: 2}
+	loose := Session{Link: fast, StartupSegments: 1, BufferCapSegments: 16}
+	segs := make([]int64, 20)
+	for i := range segs {
+		segs[i] = 1_000_000
+	}
+	rt, _ := tight.Run(segs, 1.0)
+	rl, _ := loose.Run(segs, 1.0)
+	if rt.MeanBufferSec >= rl.MeanBufferSec {
+		t.Errorf("tight cap lead %v not below loose %v", rt.MeanBufferSec, rl.MeanBufferSec)
+	}
+	if rt.MeanBufferSec > 2.5 {
+		t.Errorf("tight cap lead %v exceeds the 2-segment cap", rt.MeanBufferSec)
+	}
+}
+
+func TestSessionFewerSegmentsThanStartup(t *testing.T) {
+	s := Session{Link: testLink(), StartupSegments: 4, BufferCapSegments: 8}
+	r, err := s.Run([]int64{500_000, 500_000}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.StartupDelay-1.0) > 1e-9 {
+		t.Errorf("startup = %v, want full download time", r.StartupDelay)
+	}
+	if r.StallCount() != 0 {
+		t.Error("short session should not stall")
+	}
+}
+
+func TestSessionLossyLinkStallsMore(t *testing.T) {
+	segs := make([]int64, 12)
+	for i := range segs {
+		segs[i] = 900_000 // 0.9 s at 1 MB/s: barely real-time
+	}
+	clean := Session{Link: testLink(), StartupSegments: 1, BufferCapSegments: 3}
+	lossyLink := testLink()
+	lossyLink.LossRate = 0.3
+	lossy := Session{Link: lossyLink, StartupSegments: 1, BufferCapSegments: 3}
+	rc, _ := clean.Run(segs, 1.0)
+	rl, _ := lossy.Run(segs, 1.0)
+	if rl.TotalStall <= rc.TotalStall {
+		t.Errorf("lossy link stall %v not above clean %v", rl.TotalStall, rc.TotalStall)
+	}
+}

@@ -1,0 +1,236 @@
+// Package plot renders experiment results as standalone SVG charts — the
+// figure-shaped counterpart of the experiments package's tables, so the
+// paper's plots can be regenerated as images with no external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line or bar group.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a titled chart over categorical x positions.
+type Chart struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+}
+
+// palette holds the series colors.
+var palette = []string{"#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"}
+
+// Validate reports whether the chart is renderable.
+func (c Chart) Validate() error {
+	if len(c.XLabels) == 0 {
+		return fmt.Errorf("plot: no x labels")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.XLabels) {
+			return fmt.Errorf("plot: series %q has %d points for %d labels", s.Name, len(s.Y), len(c.XLabels))
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("plot: series %q has a non-finite value", s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// yMax returns a rounded-up axis maximum.
+func (c Chart) yMax() float64 {
+	var m float64
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	if m <= 0 {
+		return 1
+	}
+	// Round up to a pleasant tick.
+	mag := math.Pow(10, math.Floor(math.Log10(m)))
+	for _, step := range []float64{1, 2, 2.5, 5, 10} {
+		if m <= step*mag {
+			return step * mag
+		}
+	}
+	return 10 * mag
+}
+
+// geometry constants.
+const (
+	marginL = 64
+	marginR = 16
+	marginT = 36
+	marginB = 48
+	ticks   = 4
+)
+
+// header emits the SVG prologue, title, axes, and y grid/ticks.
+func (c Chart) header(w, h int, ymax float64) *strings.Builder {
+	b := &strings.Builder{}
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, w, h, w, h)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`, w, h)
+	fmt.Fprintf(b, `<text x="%d" y="22" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`, marginL, esc(c.Title))
+	// Y label (rotated).
+	fmt.Fprintf(b, `<text x="14" y="%d" font-family="sans-serif" font-size="11" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`,
+		(marginT+h-marginB)/2, (marginT+h-marginB)/2, esc(c.YLabel))
+	// Gridlines and tick labels.
+	plotH := h - marginT - marginB
+	for i := 0; i <= ticks; i++ {
+		y := marginT + plotH - i*plotH/ticks
+		val := ymax * float64(i) / ticks
+		fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#dddddd"/>`, marginL, y, w-marginR, y)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`,
+			marginL-6, y+4, trimFloat(val))
+	}
+	return b
+}
+
+// legend emits the series legend at the top right.
+func (c Chart) legend(b *strings.Builder, w int) {
+	x := w - marginR - 110
+	for i, s := range c.Series {
+		y := marginT + 14*i
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, x, y-9, palette[i%len(palette)])
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%s</text>`, x+14, y, esc(s.Name))
+	}
+}
+
+// BarSVG renders grouped bars.
+func (c Chart) BarSVG(w, h int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	ymax := c.yMax()
+	b := c.header(w, h, ymax)
+	plotW := w - marginL - marginR
+	plotH := h - marginT - marginB
+	groups := len(c.XLabels)
+	groupW := float64(plotW) / float64(groups)
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, label := range c.XLabels {
+		gx := float64(marginL) + groupW*float64(gi)
+		for si, s := range c.Series {
+			v := s.Y[gi]
+			bh := int(float64(plotH) * v / ymax)
+			x := gx + groupW*0.1 + barW*float64(si)
+			fmt.Fprintf(b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"/>`,
+				x, marginT+plotH-bh, barW, bh, palette[si%len(palette)])
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			gx+groupW/2, h-marginB+16, esc(label))
+	}
+	c.legend(b, w)
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// StackedBarSVG renders one bar per x position with the series stacked —
+// the right form for compositions like the per-component power split.
+func (c Chart) StackedBarSVG(w, h int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	// Axis maximum is the largest stack total.
+	var ymax float64
+	for xi := range c.XLabels {
+		var sum float64
+		for _, s := range c.Series {
+			if s.Y[xi] < 0 {
+				return "", fmt.Errorf("plot: stacked bars need non-negative values (series %q)", s.Name)
+			}
+			sum += s.Y[xi]
+		}
+		if sum > ymax {
+			ymax = sum
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	tmp := Chart{Series: []Series{{Y: []float64{ymax}}}, XLabels: []string{""}}
+	ymax = tmp.yMax()
+	b := c.header(w, h, ymax)
+	plotW := w - marginL - marginR
+	plotH := h - marginT - marginB
+	groups := len(c.XLabels)
+	groupW := float64(plotW) / float64(groups)
+	barW := groupW * 0.6
+	for gi, label := range c.XLabels {
+		gx := float64(marginL) + groupW*float64(gi) + groupW*0.2
+		yBase := marginT + plotH
+		for si, s := range c.Series {
+			bh := int(float64(plotH) * s.Y[gi] / ymax)
+			yBase -= bh
+			fmt.Fprintf(b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"/>`,
+				gx, yBase, barW, bh, palette[si%len(palette)])
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			gx+barW/2, h-marginB+16, esc(label))
+	}
+	c.legend(b, w)
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// LineSVG renders one polyline per series.
+func (c Chart) LineSVG(w, h int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	ymax := c.yMax()
+	b := c.header(w, h, ymax)
+	plotW := w - marginL - marginR
+	plotH := h - marginT - marginB
+	n := len(c.XLabels)
+	xAt := func(i int) float64 {
+		if n == 1 {
+			return float64(marginL) + float64(plotW)/2
+		}
+		return float64(marginL) + float64(plotW)*float64(i)/float64(n-1)
+	}
+	for si, s := range c.Series {
+		var pts []string
+		for i, v := range s.Y {
+			y := float64(marginT+plotH) - float64(plotH)*v/ymax
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(i), y))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+			strings.Join(pts, " "), palette[si%len(palette)])
+	}
+	step := 1
+	if n > 12 {
+		step = n / 12
+	}
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			xAt(i), h-marginB+16, esc(c.XLabels[i]))
+	}
+	c.legend(b, w)
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	return strings.TrimSuffix(s, ".0")
+}

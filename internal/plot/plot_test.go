@@ -1,0 +1,163 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoChart() Chart {
+	return Chart{
+		Title:   "Demo & <chart>",
+		YLabel:  "percent",
+		XLabels: []string{"a", "b", "c"},
+		Series: []Series{
+			{Name: "one", Y: []float64{10, 20, 30}},
+			{Name: "two", Y: []float64{5, 15, 25}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := demoChart().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := demoChart()
+	bad.XLabels = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no labels accepted")
+	}
+	bad = demoChart()
+	bad.Series = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no series accepted")
+	}
+	bad = demoChart()
+	bad.Series[0].Y = []float64{1}
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged series accepted")
+	}
+	bad = demoChart()
+	bad.Series[0].Y[1] = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Error("NaN accepted")
+	}
+}
+
+// wellFormed parses the SVG with encoding/xml to catch broken markup.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestBarSVG(t *testing.T) {
+	svg, err := demoChart().BarSVG(480, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	// 1 background + 2 legend swatches + 6 bars = 9 rects.
+	if got := strings.Count(svg, "<rect"); got != 9 {
+		t.Errorf("rect count = %d, want 9", got)
+	}
+	for _, want := range []string{"Demo &amp; &lt;chart&gt;", "percent", "one", "two"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestLineSVG(t *testing.T) {
+	svg, err := demoChart().LineSVG(480, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	bad := Chart{}
+	if _, err := bad.BarSVG(100, 100); err == nil {
+		t.Error("BarSVG accepted empty chart")
+	}
+	if _, err := bad.LineSVG(100, 100); err == nil {
+		t.Error("LineSVG accepted empty chart")
+	}
+}
+
+func TestYMaxRounding(t *testing.T) {
+	cases := []struct {
+		max  float64
+		want float64
+	}{
+		{0, 1}, {0.8, 1}, {1.7, 2}, {2.2, 2.5}, {4.9, 5}, {7, 10}, {43, 50}, {97, 100},
+	}
+	for _, tc := range cases {
+		c := Chart{XLabels: []string{"x"}, Series: []Series{{Name: "s", Y: []float64{tc.max}}}}
+		if got := c.yMax(); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("yMax(%v) = %v, want %v", tc.max, got, tc.want)
+		}
+	}
+}
+
+func TestSingleLabelLine(t *testing.T) {
+	c := Chart{XLabels: []string{"only"}, Series: []Series{{Name: "s", Y: []float64{3}}}}
+	svg, err := c.LineSVG(200, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+}
+
+func TestManyLabelsThinned(t *testing.T) {
+	labels := make([]string, 40)
+	ys := make([]float64, 40)
+	for i := range labels {
+		labels[i] = trimFloat(float64(i))
+		ys[i] = float64(i)
+	}
+	c := Chart{Title: "dense", XLabels: labels, Series: []Series{{Name: "s", Y: ys}}}
+	svg, err := c.LineSVG(640, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	// Tick labels must be thinned below the label count.
+	if got := strings.Count(svg, `text-anchor="middle"`); got >= 40 {
+		t.Errorf("x labels not thinned: %d", got)
+	}
+}
+
+func TestStackedBarSVG(t *testing.T) {
+	svg, err := demoChart().StackedBarSVG(480, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, svg)
+	// 1 background + 2 legend swatches + 3 stacks × 2 segments = 9 rects.
+	if got := strings.Count(svg, "<rect"); got != 9 {
+		t.Errorf("rect count = %d, want 9", got)
+	}
+	// Negative values are rejected (a stack cannot go below the axis).
+	bad := demoChart()
+	bad.Series[0].Y[0] = -1
+	if _, err := bad.StackedBarSVG(480, 300); err == nil {
+		t.Error("negative stacked value accepted")
+	}
+	if _, err := (Chart{}).StackedBarSVG(100, 100); err == nil {
+		t.Error("empty chart accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package pte
+
+import "math"
+
+// This file provides closed-form work estimates for the engine, used by the
+// device-level energy model when simulating thousands of frames where
+// running the pixel pipeline would be wasteful. The estimates mirror the
+// accounting in Render/Passthrough.
+
+// FrameWork returns the modeled active time and DRAM traffic of one PT
+// frame against a full panoramic input of the given dimensions.
+//
+// The read estimate assumes the viewport sweep touches the band of input
+// rows covered by the vertical FOV (plus filtering margin), each refilled
+// once — the line-buffer behaviour measured by the cycle-level model.
+func (c Config) FrameWork(fullW, fullH int) (seconds float64, readBytes, writeBytes int64) {
+	px := int64(c.Viewport.Pixels())
+	rows := int64(math.Ceil(float64(fullH) * (c.Viewport.FOVY/math.Pi*1.2 + 0.05)))
+	if rows > int64(fullH) {
+		rows = int64(fullH)
+	}
+	readBytes = rows * int64(fullW) * 3
+	writeBytes = px * 3
+	compute := (px + int64(c.NumPTUs) - 1) / int64(c.NumPTUs)
+	// DMA overlaps compute (double-banked line buffers); the frame takes
+	// whichever is longer, plus the pipeline fill.
+	dma := (readBytes + writeBytes + dmaBytesPerCycle - 1) / dmaBytesPerCycle
+	cycles := compute
+	if dma > cycles {
+		cycles = dma
+	}
+	seconds = float64(cycles+pipelineDepth) / c.ClockHz
+	return seconds, readBytes, writeBytes
+}
+
+// FrameEnergyJ returns the PTE-core energy of one PT frame per FrameWork.
+func (c Config) FrameEnergyJ(fullW, fullH int) float64 {
+	secs, _, _ := c.FrameWork(fullW, fullH)
+	return secs * c.PowerW()
+}
+
+// PassthroughWork returns the active time and DRAM traffic of forwarding a
+// pre-rendered FOV frame of the given byte size.
+func (c Config) PassthroughWork(fovBytes int64) (seconds float64, readBytes, writeBytes int64) {
+	cycles := (2*fovBytes + dmaBytesPerCycle - 1) / dmaBytesPerCycle
+	return float64(cycles) / c.ClockHz, fovBytes, fovBytes
+}
+
+// PassthroughEnergyJ returns the PTE-core energy of one passthrough frame;
+// only the DMA/control share of the power budget is active.
+func (c Config) PassthroughEnergyJ(fovBytes int64) float64 {
+	secs, _, _ := c.PassthroughWork(fovBytes)
+	return secs * baseWattage
+}

@@ -1,0 +1,49 @@
+package pte
+
+// lineBuffer models the P-MEM input scratchpad (§6.2, "Accelerator Memory"):
+// instead of holding the entire input frame (tens of MB for 4K video), the
+// P-MEM holds a sliding window of input rows, like the line buffers of an
+// ISP. The filtering stage's stencil-like access pattern — a small block of
+// adjacent pixels whose rows drift slowly across the raster scan — makes a
+// row-granular LRU window an accurate model: each first touch of a
+// non-resident row triggers one DMA refill of that row from DRAM.
+type lineBuffer struct {
+	capacity int // rows that fit in the scratchpad
+	resident map[int]int64
+	clock    int64
+	refills  int64
+}
+
+// newLineBuffer sizes the window for an input frame width (RGB24 rows).
+func newLineBuffer(sizeBytes, frameWidth int) *lineBuffer {
+	rowBytes := frameWidth * 3
+	capacity := 1
+	if rowBytes > 0 {
+		capacity = sizeBytes / rowBytes
+		if capacity < 1 {
+			capacity = 1
+		}
+	}
+	return &lineBuffer{capacity: capacity, resident: make(map[int]int64, capacity)}
+}
+
+// touch records an access to an input row, refilling it if non-resident and
+// evicting the least-recently-used row when the window is full.
+func (lb *lineBuffer) touch(row int) {
+	lb.clock++
+	if _, ok := lb.resident[row]; ok {
+		lb.resident[row] = lb.clock
+		return
+	}
+	lb.refills++
+	if len(lb.resident) >= lb.capacity {
+		oldest, oldestAt := -1, int64(1<<62)
+		for r, at := range lb.resident {
+			if at < oldestAt {
+				oldest, oldestAt = r, at
+			}
+		}
+		delete(lb.resident, oldest)
+	}
+	lb.resident[row] = lb.clock
+}

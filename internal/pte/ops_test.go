@@ -1,0 +1,78 @@
+package pte
+
+import (
+	"testing"
+
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/pt"
+)
+
+func opsViewport() projection.Viewport {
+	return projection.Viewport{Width: 10, Height: 10, FOVX: geom.Radians(110), FOVY: geom.Radians(110)}
+}
+
+func TestPerPixelOpsByProjection(t *testing.T) {
+	erp := PerPixelOps(DefaultConfig(projection.ERP, pt.Bilinear, opsViewport()))
+	cmp := PerPixelOps(DefaultConfig(projection.CMP, pt.Bilinear, opsViewport()))
+	eac := PerPixelOps(DefaultConfig(projection.EAC, pt.Bilinear, opsViewport()))
+
+	if erp.CORDICRotations == 0 || erp.Sqrts != 1 || erp.Divides != 0 {
+		t.Errorf("ERP ops wrong: %+v", erp)
+	}
+	if cmp.Divides != 2 || cmp.CORDICRotations != 0 || cmp.Sqrts != 0 {
+		t.Errorf("CMP ops wrong: %+v", cmp)
+	}
+	if eac.Divides != 2 || eac.CORDICRotations != erp.CORDICRotations {
+		t.Errorf("EAC ops wrong: %+v", eac)
+	}
+	// EAC is the dearest mapping; CMP the cheapest (§6.2's modularity).
+	if !(cmp.Total() < erp.Total() && erp.Total() < eac.Total()) {
+		t.Errorf("mapping cost ordering broken: CMP %d, ERP %d, EAC %d",
+			cmp.Total(), erp.Total(), eac.Total())
+	}
+}
+
+func TestPerPixelOpsByFilter(t *testing.T) {
+	near := PerPixelOps(DefaultConfig(projection.ERP, pt.Nearest, opsViewport()))
+	bi := PerPixelOps(DefaultConfig(projection.ERP, pt.Bilinear, opsViewport()))
+	if near.PixelFetches != 1 || bi.PixelFetches != 4 {
+		t.Errorf("fetch counts: nearest %d, bilinear %d", near.PixelFetches, bi.PixelFetches)
+	}
+	if bi.FilterMACs <= near.FilterMACs {
+		t.Error("bilinear must cost more filter MACs")
+	}
+}
+
+func TestCORDICRotationsTrackFormat(t *testing.T) {
+	wide := DefaultConfig(projection.ERP, pt.Nearest, opsViewport())
+	narrow := wide
+	narrow.Format.TotalBits = 18
+	narrow.Format.IntBits = 10
+	if PerPixelOps(narrow).CORDICRotations >= PerPixelOps(wide).CORDICRotations {
+		t.Error("narrower format should need fewer CORDIC stages")
+	}
+}
+
+func TestFrameOpsScale(t *testing.T) {
+	cfg := DefaultConfig(projection.ERP, pt.Bilinear, opsViewport())
+	per := PerPixelOps(cfg)
+	fr := FrameOps(cfg)
+	if fr.PerspectiveMACs != per.PerspectiveMACs*100 {
+		t.Errorf("frame ops not scaled by pixel count: %d", fr.PerspectiveMACs)
+	}
+	if fr.Total() != per.Total()*100 {
+		t.Errorf("total mismatch: %d vs %d", fr.Total(), per.Total()*100)
+	}
+}
+
+func TestOpStatsAdd(t *testing.T) {
+	a := OpStats{PerspectiveMACs: 1, Divides: 2}
+	a.Add(OpStats{PerspectiveMACs: 3, CORDICRotations: 4, PixelFetches: 5})
+	if a.PerspectiveMACs != 4 || a.CORDICRotations != 4 || a.Divides != 2 || a.PixelFetches != 5 {
+		t.Errorf("Add = %+v", a)
+	}
+	if a.Total() != 15 {
+		t.Errorf("Total = %d", a.Total())
+	}
+}

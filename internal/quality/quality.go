@@ -1,0 +1,187 @@
+// Package quality implements 360° video quality assessment, the second
+// use-case of the PTE hardware (§8.6): content servers score incoming
+// panoramic video in real time by projecting it to viewer perspectives
+// (a sequence of PT operations) and computing full-reference metrics —
+// PSNR and SSIM — against the pristine source.
+//
+// The package provides both the pixel-exact assessor (real PT + real
+// metrics, used in tests and the example) and the pipeline energy model
+// behind Fig. 17's GPU-vs-PTE comparison.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/pt"
+	"evr/internal/pte"
+)
+
+// SSIM computes the mean structural similarity index over the luma channel
+// using the standard 8×8 windows and K1=0.01, K2=0.03 constants. Identical
+// frames score 1.
+func SSIM(a, b *frame.Frame) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("quality: SSIM dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+	const win = 8
+	const c1 = (0.01 * 255) * (0.01 * 255)
+	const c2 = (0.03 * 255) * (0.03 * 255)
+	if a.W < win || a.H < win {
+		return 1 // degenerate frames compare as identical structure
+	}
+	var sum float64
+	n := 0
+	for by := 0; by+win <= a.H; by += win {
+		for bx := 0; bx+win <= a.W; bx += win {
+			var ma, mb float64
+			for y := 0; y < win; y++ {
+				for x := 0; x < win; x++ {
+					ma += float64(a.Luma(bx+x, by+y))
+					mb += float64(b.Luma(bx+x, by+y))
+				}
+			}
+			ma /= win * win
+			mb /= win * win
+			var va, vb, cov float64
+			for y := 0; y < win; y++ {
+				for x := 0; x < win; x++ {
+					da := float64(a.Luma(bx+x, by+y)) - ma
+					db := float64(b.Luma(bx+x, by+y)) - mb
+					va += da * da
+					vb += db * db
+					cov += da * db
+				}
+			}
+			va /= win*win - 1
+			vb /= win*win - 1
+			cov /= win*win - 1
+			ssim := ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
+			sum += ssim
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// ViewScore is the metric pair for one assessed perspective.
+type ViewScore struct {
+	View geom.Orientation
+	PSNR float64
+	SSIM float64
+}
+
+// Report aggregates an assessment over all perspectives.
+type Report struct {
+	Views    []ViewScore
+	MeanPSNR float64
+	MeanSSIM float64
+}
+
+// Assessor projects 360° content to a set of viewer perspectives and scores
+// a distorted stream against a reference (the §8.6 pipeline, after [68]).
+type Assessor struct {
+	PT    pt.Config
+	Views []geom.Orientation
+}
+
+// DefaultViews returns eight perspectives: the six cube-face directions
+// plus two oblique views.
+func DefaultViews() []geom.Orientation {
+	return []geom.Orientation{
+		{Yaw: 0}, {Yaw: math.Pi / 2}, {Yaw: math.Pi}, {Yaw: -math.Pi / 2},
+		{Pitch: math.Pi / 2}, {Pitch: -math.Pi / 2},
+		{Yaw: math.Pi / 4, Pitch: math.Pi / 6}, {Yaw: -3 * math.Pi / 4, Pitch: -math.Pi / 6},
+	}
+}
+
+// NewAssessor builds an assessor for a projection method and output size.
+func NewAssessor(m projection.Method, outW, outH int) Assessor {
+	return Assessor{
+		PT: pt.Config{
+			Projection: m,
+			Filter:     pt.Bilinear,
+			Viewport: projection.Viewport{
+				Width: outW, Height: outH,
+				FOVX: geom.Radians(90), FOVY: geom.Radians(90),
+			},
+		},
+		Views: DefaultViews(),
+	}
+}
+
+// Assess scores a distorted panoramic frame against the reference one.
+func (a Assessor) Assess(ref, distorted *frame.Frame) Report {
+	var rep Report
+	for _, view := range a.Views {
+		pr := pt.Render(a.PT, ref, view)
+		pd := pt.Render(a.PT, distorted, view)
+		vs := ViewScore{View: view, PSNR: frame.PSNR(pr, pd), SSIM: SSIM(pr, pd)}
+		rep.Views = append(rep.Views, vs)
+		if math.IsInf(vs.PSNR, 1) {
+			rep.MeanPSNR += 99 // cap identical views for a finite mean
+		} else {
+			rep.MeanPSNR += vs.PSNR
+		}
+		rep.MeanSSIM += vs.SSIM
+	}
+	n := float64(len(rep.Views))
+	rep.MeanPSNR /= n
+	rep.MeanSSIM /= n
+	return rep
+}
+
+// PipelineEnergy models the per-frame energy of the real-time assessment
+// pipeline of Fig. 17: decode + projective transformation + metric
+// computation, with PT on either a server GPU or a PTE.
+//
+// The GPU's PT cost is dominated by per-kernel fixed work (launch, state,
+// texture setup) with a modest per-pixel slope, which is exactly why its
+// relative advantage improves at higher output resolutions and the PTE's
+// energy reduction shrinks — the trend of Fig. 17.
+type PipelineEnergy struct {
+	DecodeJ      float64 // per input frame
+	MetricJPerPx float64 // PSNR+SSIM per output pixel (CPU)
+	GPUFixedJ    float64 // per PT batch on the GPU
+	GPUJPerPx    float64
+	PTE          pte.Config
+}
+
+// DefaultPipelineEnergy returns calibrated constants for a server-class
+// assessment node.
+func DefaultPipelineEnergy(m projection.Method, outW, outH int) PipelineEnergy {
+	vp := projection.Viewport{Width: outW, Height: outH, FOVX: geom.Radians(90), FOVY: geom.Radians(90)}
+	gpuPerPx := 2.0e-9
+	switch m {
+	case projection.CMP:
+		gpuPerPx = 1.9e-9 // cheapest mapping: no trigonometry
+	case projection.EAC:
+		gpuPerPx = 2.1e-9 // extra arctangent warp
+	}
+	return PipelineEnergy{
+		DecodeJ:      8e-3,
+		MetricJPerPx: 24e-9,
+		GPUFixedJ:    25e-3,
+		GPUJPerPx:    gpuPerPx,
+		PTE:          pte.DefaultConfig(m, pt.Bilinear, vp),
+	}
+}
+
+// FrameEnergies returns the per-frame pipeline energy with PT on the GPU
+// and on the PTE, for an input panorama of the given size.
+func (p PipelineEnergy) FrameEnergies(inW, inH int) (gpuJ, pteJ float64) {
+	px := float64(p.PTE.Viewport.Pixels())
+	shared := p.DecodeJ + p.MetricJPerPx*px
+	gpuJ = shared + p.GPUFixedJ + p.GPUJPerPx*px
+	pteJ = shared + p.PTE.FrameEnergyJ(inW, inH)
+	return gpuJ, pteJ
+}
+
+// ReductionPct returns the PTE's energy reduction over the GPU pipeline.
+func (p PipelineEnergy) ReductionPct(inW, inH int) float64 {
+	g, e := p.FrameEnergies(inW, inH)
+	return 100 * (1 - e/g)
+}

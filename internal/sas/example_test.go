@@ -1,0 +1,25 @@
+package sas_test
+
+import (
+	"fmt"
+
+	"evr/internal/sas"
+	"evr/internal/scene"
+)
+
+// Build the ingest-analysis plan for one catalog video and inspect its
+// temporal segmentation.
+func ExampleBuildPlan() {
+	video, _ := scene.ByName("RS")
+	plan, err := sas.BuildPlan(video, sas.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("segments: %d of %d frames each\n", len(plan.Segments), plan.Cfg.SegmentFrames)
+	fmt.Printf("FOV videos in segment 0: %d\n", len(plan.Segments[0].Tracks))
+	fmt.Printf("storage overhead a few x: %v\n", plan.StorageOverhead() > 1 && plan.StorageOverhead() < 10)
+	// Output:
+	// segments: 60 of 30 frames each
+	// FOV videos in segment 0: 3
+	// storage overhead a few x: true
+}

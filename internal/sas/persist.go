@@ -1,0 +1,53 @@
+package sas
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// planVersion guards the serialized layout; bump on incompatible changes.
+const planVersion = 1
+
+// persistedPlan wraps a Plan with a format version for forward safety.
+type persistedPlan struct {
+	Version int   `json:"version"`
+	Plan    *Plan `json:"plan"`
+}
+
+// Save serializes the plan as JSON — the ingest-analysis cache a server
+// keeps so republishing a video skips re-analysis.
+func (p *Plan) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(persistedPlan{Version: planVersion, Plan: p})
+}
+
+// LoadPlan reads a plan saved by Save, rejecting unknown versions and
+// structurally invalid plans.
+func LoadPlan(r io.Reader) (*Plan, error) {
+	var pp persistedPlan
+	if err := json.NewDecoder(r).Decode(&pp); err != nil {
+		return nil, fmt.Errorf("sas: decoding plan: %w", err)
+	}
+	if pp.Version != planVersion {
+		return nil, fmt.Errorf("sas: unsupported plan version %d", pp.Version)
+	}
+	if pp.Plan == nil {
+		return nil, fmt.Errorf("sas: empty plan")
+	}
+	if err := pp.Plan.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sas: loaded plan config invalid: %w", err)
+	}
+	for _, seg := range pp.Plan.Segments {
+		if len(seg.Tracks) != len(seg.FOVBytes) {
+			return nil, fmt.Errorf("sas: segment %d tracks/bytes mismatch", seg.Index)
+		}
+		for _, tr := range seg.Tracks {
+			if len(tr.Centers) != seg.Frames {
+				return nil, fmt.Errorf("sas: segment %d track has %d centers for %d frames",
+					seg.Index, len(tr.Centers), seg.Frames)
+			}
+		}
+	}
+	return pp.Plan, nil
+}

@@ -1,0 +1,118 @@
+package scene
+
+import "math"
+
+// palette supplies visually distinct, saturated object colors.
+var palette = [][3]byte{
+	{230, 60, 60}, {60, 200, 80}, {70, 90, 230}, {235, 200, 40},
+	{220, 80, 220}, {50, 210, 210}, {240, 140, 40}, {150, 230, 60},
+	{120, 70, 230}, {230, 120, 160}, {90, 230, 150}, {200, 180, 120},
+	{250, 250, 250},
+}
+
+// makeObjects distributes n objects into clusters around anchor yaws. The
+// objects of a cluster share a slow common drift (users can track the group,
+// §5.3) plus small individual oscillations.
+func makeObjects(n int, anchors []float64, drift, radius float64) []ObjectSpec {
+	objs := make([]ObjectSpec, n)
+	for i := 0; i < n; i++ {
+		a := anchors[i%len(anchors)]
+		k := float64(i / len(anchors)) // position within the cluster
+		objs[i] = ObjectSpec{
+			ID:         i,
+			BaseYaw:    a + 0.22*k,
+			BasePitch:  0.10*math.Sin(float64(i)*1.7) - 0.05,
+			DriftYaw:   drift,
+			AmpYaw:     0.08 + 0.02*float64(i%3),
+			AmpPitch:   0.05,
+			FreqYaw:    0.25 + 0.05*float64(i%4),
+			FreqPitch:  0.18 + 0.04*float64(i%3),
+			PhaseYaw:   float64(i) * 0.9,
+			PhasePitch: float64(i) * 1.3,
+			Radius:     radius,
+			Color:      palette[i%len(palette)],
+		}
+	}
+	return objs
+}
+
+// Catalog returns the six synthetic stand-ins for the paper's video set.
+// Object counts match the x-axes of Fig. 5; complexity levels are tuned so
+// the per-video energy splits of Fig. 3 fall in the reported order (PT share
+// highest for Rhino at ~53%, lower for Paris and Elephant).
+func Catalog() []VideoSpec {
+	const fps = 30
+	return []VideoSpec{
+		{
+			// Elephant: safari scene, 8 objects in two groups, slow pans.
+			Name: "Elephant", Duration: 60, FPS: fps, Complexity: 0.85,
+			Objects: makeObjects(8, []float64{-0.4, 1.8}, 0.020, 0.16),
+		},
+		{
+			// Paris: busy city tour, 13 objects across three groups.
+			Name: "Paris", Duration: 60, FPS: fps, Complexity: 0.95,
+			Objects: makeObjects(13, []float64{-1.9, 0.1, 2.1}, 0.030, 0.12),
+		},
+		{
+			// RS: rollercoaster-style ride with only 3 fast objects —
+			// users explore a lot here (highest FOV-miss rate, §8.2).
+			Name: "RS", Duration: 60, FPS: fps, Complexity: 0.70,
+			Objects: makeObjects(3, []float64{0.0}, 0.065, 0.20),
+		},
+		{
+			// NYC: street scene; appears in the Fig. 3 power study.
+			Name: "NYC", Duration: 60, FPS: fps, Complexity: 0.75,
+			Objects: makeObjects(6, []float64{-0.8, 1.2}, 0.028, 0.14),
+		},
+		{
+			// Rhino: static camera at a watering hole; low-texture scene
+			// (cheapest to decode, so PT dominates its energy, Fig. 3b).
+			Name: "Rhino", Duration: 60, FPS: fps, Complexity: 0.35,
+			Objects: makeObjects(11, []float64{-0.3, 0.9}, 0.012, 0.15),
+		},
+		{
+			// Timelapse: slow skyline timelapse, 5 objects, very steady
+			// viewing (lowest FOV-miss rate, §8.2).
+			Name: "Timelapse", Duration: 60, FPS: fps, Complexity: 0.55,
+			Objects: makeObjects(5, []float64{0.5}, 0.008, 0.18),
+		},
+	}
+}
+
+// EvalSet returns the five videos used in the paper's energy-saving figures
+// (Fig. 5, 6, 12–16): Rhino, Timelapse, RS, Paris, Elephant.
+func EvalSet() []VideoSpec {
+	var out []VideoSpec
+	for _, name := range []string{"Rhino", "Timelapse", "RS", "Paris", "Elephant"} {
+		v, ok := ByName(name)
+		if !ok {
+			panic("scene: catalog missing " + name)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// PowerSet returns the five videos of the Fig. 3 power characterization:
+// Elephant, Paris, RS, NYC, Rhino.
+func PowerSet() []VideoSpec {
+	var out []VideoSpec
+	for _, name := range []string{"Elephant", "Paris", "RS", "NYC", "Rhino"} {
+		v, ok := ByName(name)
+		if !ok {
+			panic("scene: catalog missing " + name)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ByName looks a video up in the catalog.
+func ByName(name string) (VideoSpec, bool) {
+	for _, v := range Catalog() {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return VideoSpec{}, false
+}

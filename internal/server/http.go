@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"evr/internal/scene"
+	"evr/internal/store"
+)
+
+// Service is the EVR streaming server: ingested videos plus their SAS
+// store, exposed over HTTP. It distinguishes the two client request types
+// of §5.3 — FOV-video requests at segment boundaries and original-segment
+// requests on FOV misses.
+type Service struct {
+	mu        sync.RWMutex
+	store     *store.Store
+	manifests map[string]*Manifest
+	metrics   *Metrics
+}
+
+// NewService returns an empty service backed by the given store.
+func NewService(st *store.Store) *Service {
+	return &Service{store: st, manifests: make(map[string]*Manifest), metrics: newMetrics()}
+}
+
+// Metrics exposes the service's request counters.
+func (s *Service) Metrics() *Metrics { return s.metrics }
+
+// Store exposes the backing SAS store.
+func (s *Service) Store() *store.Store { return s.store }
+
+// IngestVideo runs the ingest pipeline and publishes the video.
+func (s *Service) IngestVideo(v scene.VideoSpec, cfg IngestConfig) (*Manifest, error) {
+	man, err := Ingest(v, cfg, s.store)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.manifests[v.Name] = man
+	s.mu.Unlock()
+	return man, nil
+}
+
+// Manifest returns the manifest of a published video.
+func (s *Service) Manifest(video string) (*Manifest, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.manifests[video]
+	return m, ok
+}
+
+// Videos returns the published video names, sorted.
+func (s *Service) Videos() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.manifests))
+	for k := range s.manifests {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the HTTP API:
+//
+//	GET /videos                      → JSON list of published videos
+//	GET /v/{video}/manifest          → JSON manifest
+//	GET /v/{video}/orig/{seg}        → original segment bitstream
+//	GET /v/{video}/fov/{seg}/{c}     → FOV video bitstream
+//	GET /v/{video}/fovmeta/{seg}/{c} → JSON per-frame metadata
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.metrics.serveMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{"ok": true, "videos": len(s.Videos())})
+	})
+	mux.HandleFunc("GET /videos", s.metrics.instrument("videos", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Videos())
+	}))
+	mux.HandleFunc("GET /v/{video}/manifest", s.metrics.instrument("manifest", func(w http.ResponseWriter, r *http.Request) {
+		man, ok := s.Manifest(r.PathValue("video"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, man)
+	}))
+	mux.HandleFunc("GET /v/{video}/orig/{seg}", s.metrics.instrument("orig", func(w http.ResponseWriter, r *http.Request) {
+		seg, err := strconv.Atoi(r.PathValue("seg"))
+		if err != nil {
+			http.Error(w, "bad segment", http.StatusBadRequest)
+			return
+		}
+		data, _, ok := s.store.Get(origKey(r.PathValue("video"), seg))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	}))
+	mux.HandleFunc("GET /v/{video}/fov/{seg}/{cluster}", s.metrics.instrument("fov", func(w http.ResponseWriter, r *http.Request) {
+		seg, err1 := strconv.Atoi(r.PathValue("seg"))
+		cl, err2 := strconv.Atoi(r.PathValue("cluster"))
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad path", http.StatusBadRequest)
+			return
+		}
+		data, _, ok := s.store.Get(fovKey(r.PathValue("video"), seg, cl))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	}))
+	mux.HandleFunc("GET /v/{video}/fovmeta/{seg}/{cluster}", s.metrics.instrument("fovmeta", func(w http.ResponseWriter, r *http.Request) {
+		seg, err1 := strconv.Atoi(r.PathValue("seg"))
+		cl, err2 := strconv.Atoi(r.PathValue("cluster"))
+		if err1 != nil || err2 != nil {
+			http.Error(w, "bad path", http.StatusBadRequest)
+			return
+		}
+		_, meta, ok := s.store.Get(fovKey(r.PathValue("video"), seg, cl))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(meta)
+	}))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,394 @@
+// Package server implements the EVR cloud component (§5.3): the offline
+// ingest pipeline — object detection on key frames, tracking across
+// tracking frames, k-means clustering, FOV-video pre-rendering and encoding
+// into the SAS store — and the streaming service that serves FOV videos and
+// original segments to clients over HTTP.
+//
+// This is the pixel-exact counterpart of the behavioral planner in package
+// sas: every FOV frame served here was produced by running the actual
+// projective transformation server-side (the paper's "pre-rendering"), and
+// every byte count comes from the real codec.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"evr/internal/codec"
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/pt"
+	"evr/internal/sas"
+	"evr/internal/scene"
+	"evr/internal/store"
+	"evr/internal/vision"
+)
+
+// IngestConfig sets the pixel-pipeline parameters. Resolutions are scaled
+// down from the nominal 4K so ingest stays tractable; the geometry (FOV,
+// margins, segment length) matches the behavioral model.
+type IngestConfig struct {
+	SAS      sas.Config
+	Codec    codec.Config
+	Detector vision.DetectorConfig
+
+	Projection projection.Method
+	FullW      int // panoramic frame width (ERP: 2:1 aspect)
+	FullH      int
+	FOVW       int // FOV video frame size (multiples of the codec block)
+	FOVH       int
+	FOVXDeg    float64 // pre-rendered horizontal FOV including margin
+	FOVYDeg    float64
+
+	MaxSegments int // 0 = entire video
+
+	// EmbeddedSemantics enables the §9 capture/playback co-design the
+	// paper sketches as future work: the capture system embeds object
+	// annotations in the content, so ingest skips detection and tracking
+	// entirely and clusters the embedded ground truth. This slashes the
+	// cloud analysis cost; IngestReport quantifies it.
+	EmbeddedSemantics bool
+
+	// LiveMode models the live-streaming use-case (§8.3): real-time
+	// constraints leave no room for ingest analysis, so no FOV videos are
+	// produced — clients play the original segments and pay PT on device
+	// (which is why only the H primitive applies to live content).
+	LiveMode bool
+}
+
+// DefaultIngestConfig returns a test-scale pipeline: 192×96 panoramas with
+// 48×48 FOV frames covering the HMD's 110° FOV plus the SAS margin.
+func DefaultIngestConfig() IngestConfig {
+	s := sas.DefaultConfig()
+	return IngestConfig{
+		SAS:         s,
+		Codec:       codec.Config{GOP: s.SegmentFrames, Quality: 6, SearchRange: 2},
+		Detector:    vision.DefaultDetector(),
+		Projection:  projection.ERP,
+		FullW:       192,
+		FullH:       96,
+		FOVW:        48,
+		FOVH:        48,
+		FOVXDeg:     110 + s.MarginDeg,
+		FOVYDeg:     110 + s.MarginDeg,
+		MaxSegments: 0,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c IngestConfig) Validate() error {
+	if err := c.SAS.Validate(); err != nil {
+		return err
+	}
+	if err := c.Codec.Validate(); err != nil {
+		return err
+	}
+	if c.FullW <= 0 || c.FullH <= 0 || c.FOVW <= 0 || c.FOVH <= 0 {
+		return fmt.Errorf("server: frame dimensions must be positive")
+	}
+	if c.FullW%8 != 0 || c.FullH%8 != 0 || c.FOVW%8 != 0 || c.FOVH%8 != 0 {
+		return fmt.Errorf("server: frame dimensions must be multiples of the codec block size")
+	}
+	if c.FOVXDeg <= 0 || c.FOVXDeg >= 180 || c.FOVYDeg <= 0 || c.FOVYDeg >= 180 {
+		return fmt.Errorf("server: FOV %v°×%v° out of (0, 180)", c.FOVXDeg, c.FOVYDeg)
+	}
+	if c.MaxSegments < 0 {
+		return fmt.Errorf("server: MaxSegments must be ≥ 0")
+	}
+	return nil
+}
+
+// viewport returns the pre-render viewport.
+func (c IngestConfig) viewport() projection.Viewport {
+	return projection.Viewport{
+		Width: c.FOVW, Height: c.FOVH,
+		FOVX: geom.Radians(c.FOVXDeg), FOVY: geom.Radians(c.FOVYDeg),
+	}
+}
+
+// FrameMeta is the per-FOV-frame metadata streamed alongside frame data
+// (§5.2): the head orientation the frame was pre-rendered for.
+type FrameMeta struct {
+	Yaw   float64 `json:"yaw"`
+	Pitch float64 `json:"pitch"`
+}
+
+// ClusterInfo describes one FOV video of a segment.
+type ClusterInfo struct {
+	ID    int         `json:"id"`
+	Bytes int         `json:"bytes"`
+	Meta  []FrameMeta `json:"meta"`
+}
+
+// SegmentInfo describes one ingested temporal segment.
+type SegmentInfo struct {
+	Index     int           `json:"index"`
+	Frames    int           `json:"frames"`
+	OrigBytes int           `json:"origBytes"`
+	Clusters  []ClusterInfo `json:"clusters"`
+}
+
+// Manifest is the per-video ingest result the client fetches first.
+type Manifest struct {
+	Video         string        `json:"video"`
+	FPS           int           `json:"fps"`
+	FullW         int           `json:"fullW"`
+	FullH         int           `json:"fullH"`
+	FOVW          int           `json:"fovW"`
+	FOVH          int           `json:"fovH"`
+	FOVXDeg       float64       `json:"fovXDeg"`
+	FOVYDeg       float64       `json:"fovYDeg"`
+	Projection    int           `json:"projection"`
+	SegmentFrames int           `json:"segmentFrames"`
+	Segments      []SegmentInfo `json:"segments"`
+	Report        IngestReport  `json:"report"`
+}
+
+// IngestReport quantifies the cloud analysis cost — the axis the §9
+// capture co-design improves.
+type IngestReport struct {
+	DetectorInvocations int  `json:"detectorInvocations"` // per-frame detector runs
+	PreRenderedFrames   int  `json:"preRenderedFrames"`   // server-side PT executions
+	EmbeddedSemantics   bool `json:"embeddedSemantics"`
+}
+
+// Keys used in the SAS store.
+func origKey(video string, seg int) string { return fmt.Sprintf("%s/orig/%d", video, seg) }
+func fovKey(video string, seg, cluster int) string {
+	return fmt.Sprintf("%s/fov/%d/%d", video, seg, cluster)
+}
+
+// Ingest runs the cloud pipeline for one video and fills the SAS store.
+func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	man := &Manifest{
+		Video: v.Name, FPS: v.FPS,
+		FullW: cfg.FullW, FullH: cfg.FullH,
+		FOVW: cfg.FOVW, FOVH: cfg.FOVH,
+		FOVXDeg: cfg.FOVXDeg, FOVYDeg: cfg.FOVYDeg,
+		Projection:    int(cfg.Projection),
+		SegmentFrames: cfg.SAS.SegmentFrames,
+	}
+	total := v.Frames()
+	nSegs := (total + cfg.SAS.SegmentFrames - 1) / cfg.SAS.SegmentFrames
+	if cfg.MaxSegments > 0 && nSegs > cfg.MaxSegments {
+		nSegs = cfg.MaxSegments
+	}
+	vp := cfg.viewport()
+	ptCfg := pt.Config{Projection: cfg.Projection, Filter: pt.Bilinear, Viewport: vp}
+
+	for si := 0; si < nSegs; si++ {
+		start := si * cfg.SAS.SegmentFrames
+		frames := cfg.SAS.SegmentFrames
+		if start+frames > total {
+			frames = total - start
+		}
+		// Render the original segment once.
+		full := make([]*frame.Frame, frames)
+		for f := 0; f < frames; f++ {
+			full[f] = v.RenderFrame(float64(start+f)/float64(v.FPS), cfg.Projection, cfg.FullW, cfg.FullH)
+		}
+		// Encode and store the original segment.
+		origBits, err := codec.EncodeSequence(cfg.Codec, full)
+		if err != nil {
+			return nil, fmt.Errorf("server: encoding original segment %d of %s: %w", si, v.Name, err)
+		}
+		origPayload := marshalBitstream(origBits)
+		if err := st.Put(origKey(v.Name, si), origPayload, nil); err != nil {
+			return nil, err
+		}
+
+		// Segment analysis: per-cluster trajectory orientations, either
+		// from the detection+tracking pipeline (§5.3, Fig. 7) or from
+		// capture-embedded semantics (§9 co-design). Live streams skip
+		// analysis entirely.
+		var tracks [][]geom.Orientation
+		if cfg.LiveMode {
+			// no FOV videos for live content
+		} else if cfg.EmbeddedSemantics {
+			tracks = embeddedClusterTracks(v, cfg, start, frames)
+			man.Report.EmbeddedSemantics = true
+		} else {
+			tracks = detectedClusterTracks(v, cfg, full, &man.Report)
+		}
+		segInfo := SegmentInfo{Index: si, Frames: frames, OrigBytes: len(origPayload)}
+		for ci, centers := range tracks {
+			info, err := preRenderCluster(v, cfg, st, ptCfg, full, si, ci, centers)
+			if err != nil {
+				return nil, err
+			}
+			man.Report.PreRenderedFrames += frames
+			segInfo.Clusters = append(segInfo.Clusters, info)
+		}
+		man.Segments = append(man.Segments, segInfo)
+	}
+	return man, nil
+}
+
+// detectedClusterTracks runs the full vision pipeline on a segment: detect
+// per frame, track identities, cluster the key-frame detections, and emit
+// per-cluster per-frame centroid orientations.
+func detectedClusterTracks(v scene.VideoSpec, cfg IngestConfig, full []*frame.Frame, rep *IngestReport) [][]geom.Orientation {
+	keyDets := vision.Detect(full[0], cfg.Projection, cfg.Detector)
+	rep.DetectorInvocations++
+	if len(keyDets) == 0 {
+		return nil
+	}
+	dirs := make([]geom.Vec3, len(keyDets))
+	for i, d := range keyDets {
+		dirs[i] = d.Dir
+	}
+	k := (len(keyDets) + cfg.SAS.ClusterPerObjects - 1) / cfg.SAS.ClusterPerObjects
+	clusters := vision.KMeans(dirs, k, 1)
+
+	// One tracker shared by all clusters; membership fixed at the keyframe.
+	tracker := vision.NewTracker(0.4, 10)
+	keyTracks := tracker.Update(keyDets, 0)
+	memberIDs := make([]map[int]bool, len(clusters))
+	for ci, cl := range clusters {
+		memberIDs[ci] = map[int]bool{}
+		for _, m := range cl.Members {
+			// Track IDs are assigned in detection order on the first update.
+			memberIDs[ci][keyTracks[m].ID] = true
+		}
+	}
+
+	out := make([][]geom.Orientation, len(clusters))
+	for ci := range out {
+		out[ci] = make([]geom.Orientation, len(full))
+	}
+	for f := 0; f < len(full); f++ {
+		if f > 0 {
+			dets := vision.Detect(full[f], cfg.Projection, cfg.Detector)
+			rep.DetectorInvocations++
+			tracker.Update(dets, float64(f)/float64(v.FPS))
+		}
+		live := tracker.Tracks()
+		for ci := range clusters {
+			var sum geom.Vec3
+			n := 0
+			for _, tr := range live {
+				if memberIDs[ci][tr.ID] {
+					sum = sum.Add(tr.Dir)
+					n++
+				}
+			}
+			if n > 0 && sum.Norm() > 1e-12 {
+				out[ci][f] = geom.LookAt(sum.Normalize())
+			} else if f > 0 {
+				out[ci][f] = out[ci][f-1]
+			}
+		}
+	}
+	return out
+}
+
+// embeddedClusterTracks derives cluster trajectories straight from the
+// capture-embedded object annotations: no detector, no tracker.
+func embeddedClusterTracks(v scene.VideoSpec, cfg IngestConfig, start, frames int) [][]geom.Orientation {
+	objs := v.ObjectsAt(float64(start) / float64(v.FPS))
+	if len(objs) == 0 {
+		return nil
+	}
+	dirs := make([]geom.Vec3, len(objs))
+	for i, o := range objs {
+		dirs[i] = o.Dir
+	}
+	k := (len(objs) + cfg.SAS.ClusterPerObjects - 1) / cfg.SAS.ClusterPerObjects
+	clusters := vision.KMeans(dirs, k, 1)
+	out := make([][]geom.Orientation, len(clusters))
+	for ci, cl := range clusters {
+		out[ci] = make([]geom.Orientation, frames)
+		for f := 0; f < frames; f++ {
+			t := float64(start+f) / float64(v.FPS)
+			states := v.ObjectsAt(t)
+			var sum geom.Vec3
+			for _, m := range cl.Members {
+				sum = sum.Add(states[m].Dir)
+			}
+			if sum.Norm() > 1e-12 {
+				out[ci][f] = geom.LookAt(sum.Normalize())
+			}
+		}
+	}
+	return out
+}
+
+// preRenderCluster pre-renders and encodes one cluster's FOV video from its
+// per-frame trajectory orientations.
+func preRenderCluster(v scene.VideoSpec, cfg IngestConfig, st *store.Store, ptCfg pt.Config,
+	full []*frame.Frame, si, ci int, centers []geom.Orientation) (ClusterInfo, error) {
+
+	fovFrames := make([]*frame.Frame, len(full))
+	meta := make([]FrameMeta, len(full))
+	for f := 0; f < len(full); f++ {
+		o := centers[f]
+		meta[f] = FrameMeta{Yaw: o.Yaw, Pitch: o.Pitch}
+		// Server-side PT: the pre-rendering that spares the client (§5.2).
+		fovFrames[f] = pt.Render(ptCfg, full[f], o)
+	}
+	bits, err := codec.EncodeSequence(cfg.Codec, fovFrames)
+	if err != nil {
+		return ClusterInfo{}, fmt.Errorf("server: encoding FOV video %d/%d of %s: %w", si, ci, v.Name, err)
+	}
+	payload := marshalBitstream(bits)
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	if err := st.Put(fovKey(v.Name, si, ci), payload, metaJSON); err != nil {
+		return ClusterInfo{}, err
+	}
+	return ClusterInfo{ID: ci, Bytes: len(payload), Meta: meta}, nil
+}
+
+// marshalBitstream serializes a codec.Bitstream: header (W, H, count) then
+// length-prefixed typed frames.
+func marshalBitstream(b *codec.Bitstream) []byte {
+	var out []byte
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], uint16(b.W))
+	binary.LittleEndian.PutUint16(hdr[2:4], uint16(b.H))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(b.Frames)))
+	out = append(out, hdr[:8]...)
+	for i, f := range b.Frames {
+		var fh [5]byte
+		fh[0] = byte(b.Types[i])
+		binary.LittleEndian.PutUint32(fh[1:5], uint32(len(f)))
+		out = append(out, fh[:]...)
+		out = append(out, f...)
+	}
+	return out
+}
+
+// UnmarshalBitstream parses a payload produced by marshalBitstream.
+func UnmarshalBitstream(payload []byte) (*codec.Bitstream, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("server: bitstream payload too short")
+	}
+	b := &codec.Bitstream{
+		W: int(binary.LittleEndian.Uint16(payload[0:2])),
+		H: int(binary.LittleEndian.Uint16(payload[2:4])),
+	}
+	n := int(binary.LittleEndian.Uint32(payload[4:8]))
+	off := 8
+	for i := 0; i < n; i++ {
+		if off+5 > len(payload) {
+			return nil, fmt.Errorf("server: bitstream truncated at frame %d header", i)
+		}
+		ft := codec.FrameType(payload[off])
+		l := int(binary.LittleEndian.Uint32(payload[off+1 : off+5]))
+		off += 5
+		if off+l > len(payload) {
+			return nil, fmt.Errorf("server: bitstream truncated at frame %d body", i)
+		}
+		b.Types = append(b.Types, ft)
+		b.Frames = append(b.Frames, payload[off:off+l])
+		off += l
+	}
+	return b, nil
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Metrics counts the service's request activity per endpoint class — the
+// observability a deployed streaming origin needs. Counters are snapshotted
+// over /metrics as JSON.
+type Metrics struct {
+	mu       sync.Mutex
+	started  time.Time
+	counters map[string]*endpointStats
+}
+
+// endpointStats aggregates one endpoint class.
+type endpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"` // non-2xx responses
+	Bytes    int64   `json:"bytes"`
+	TotalMs  float64 `json:"totalMs"`
+	MaxMs    float64 `json:"maxMs"`
+}
+
+// MetricsSnapshot is the JSON shape served at /metrics.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                   `json:"uptimeSeconds"`
+	Endpoints     map[string]*endpointStats `json:"endpoints"`
+}
+
+// newMetrics returns zeroed counters.
+func newMetrics() *Metrics {
+	return &Metrics{started: time.Now(), counters: make(map[string]*endpointStats)}
+}
+
+// observe records one served request.
+func (m *Metrics) observe(endpoint string, status int, bytes int64, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.counters[endpoint]
+	if !ok {
+		s = &endpointStats{}
+		m.counters[endpoint] = s
+	}
+	s.Requests++
+	if status < 200 || status > 299 {
+		s.Errors++
+	}
+	s.Bytes += bytes
+	ms := float64(d.Microseconds()) / 1e3
+	s.TotalMs += ms
+	if ms > s.MaxMs {
+		s.MaxMs = ms
+	}
+}
+
+// Snapshot copies the current counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := MetricsSnapshot{
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		Endpoints:     make(map[string]*endpointStats, len(m.counters)),
+	}
+	for k, v := range m.counters {
+		c := *v
+		out.Endpoints[k] = &c
+	}
+	return out
+}
+
+// countingWriter wraps a ResponseWriter to capture status and bytes.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *countingWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with per-endpoint metrics.
+func (m *Metrics) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		cw := &countingWriter{ResponseWriter: w}
+		start := time.Now()
+		h(cw, r)
+		if cw.status == 0 {
+			cw.status = http.StatusOK
+		}
+		m.observe(endpoint, cw.status, cw.bytes, time.Since(start))
+	}
+}
+
+// serveMetrics writes the snapshot as JSON.
+func (m *Metrics) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(m.Snapshot())
+}

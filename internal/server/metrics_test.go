@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"evr/internal/scene"
+	"evr/internal/store"
+)
+
+func TestMetricsCountRequests(t *testing.T) {
+	v, _ := scene.ByName("RS")
+	svc := NewService(store.New())
+	if _, err := svc.IngestVideo(v, smallIngest()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	get("/v/RS/manifest")
+	get("/v/RS/manifest")
+	get("/v/RS/orig/0")
+	get("/v/RS/orig/99")    // 404 → error counter
+	get("/v/Nope/manifest") // 404
+
+	snap := svc.Metrics().Snapshot()
+	man := snap.Endpoints["manifest"]
+	if man == nil || man.Requests != 3 || man.Errors != 1 {
+		t.Errorf("manifest stats = %+v", man)
+	}
+	orig := snap.Endpoints["orig"]
+	if orig == nil || orig.Requests != 2 || orig.Errors != 1 {
+		t.Errorf("orig stats = %+v", orig)
+	}
+	if orig.Bytes <= 0 {
+		t.Error("no bytes counted for served segment")
+	}
+	if snap.UptimeSeconds <= 0 {
+		t.Error("no uptime")
+	}
+
+	// /metrics itself serves the snapshot as JSON.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var parsed MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if parsed.Endpoints["manifest"].Requests != 3 {
+		t.Errorf("served snapshot differs: %+v", parsed.Endpoints["manifest"])
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	svc := NewService(store.New())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %s", resp.Status)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["ok"] != true {
+		t.Errorf("healthz body = %v", body)
+	}
+}
+
+func TestMetricsConcurrentSafe(t *testing.T) {
+	m := newMetrics()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.observe("x", 200, 10, time.Microsecond)
+				m.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Snapshot().Endpoints["x"].Requests; got != 1600 {
+		t.Errorf("requests = %d, want 1600", got)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	m := newMetrics()
+	m.observe("a", 200, 1, time.Millisecond)
+	snap := m.Snapshot()
+	snap.Endpoints["a"].Requests = 999
+	if m.Snapshot().Endpoints["a"].Requests != 1 {
+		t.Error("snapshot aliases live counters")
+	}
+}

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.Put("a/0", []byte("data"), []byte("meta")); err != nil {
+		t.Fatal(err)
+	}
+	d, m, ok := s.Get("a/0")
+	if !ok || string(d) != "data" || string(m) != "meta" {
+		t.Fatalf("Get = %q %q %v", d, m, ok)
+	}
+	if _, _, ok := s.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	if !s.Has("a/0") || s.Has("b") {
+		t.Error("Has broken")
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	if err := New().Put("", nil, nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestOverwriteKeepsLatest(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("v1"), []byte("m1"))
+	s.Put("k", []byte("v2"), []byte("m2"))
+	d, m, _ := s.Get("k")
+	if string(d) != "v2" || string(m) != "m2" {
+		t.Errorf("got %q %q, want latest version", d, m)
+	}
+	// The log is append-only: both versions occupy space until compaction.
+	if s.DataBytes() != 4 {
+		t.Errorf("data log = %d bytes, want 4 (two versions)", s.DataBytes())
+	}
+	if s.LiveBytes() != 2 {
+		t.Errorf("live = %d bytes, want 2", s.LiveBytes())
+	}
+	s.Compact()
+	if s.DataBytes() != 2 {
+		t.Errorf("after compaction data log = %d, want 2", s.DataBytes())
+	}
+	d, m, _ = s.Get("k")
+	if string(d) != "v2" || string(m) != "m2" {
+		t.Error("compaction lost data")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := New()
+	for _, k := range []string{"b", "a", "c"} {
+		s.Put(k, []byte(k), nil)
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestGetReturnsCopies(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("abc"), []byte("xyz"))
+	d, _, _ := s.Get("k")
+	d[0] = 'Z'
+	d2, _, _ := s.Get("k")
+	if string(d2) != "abc" {
+		t.Error("Get returned aliased storage")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(60))
+	for i := 0; i < 20; i++ {
+		data := make([]byte, rng.Intn(100))
+		meta := make([]byte, rng.Intn(30))
+		rng.Read(data)
+		rng.Read(meta)
+		s.Put(fmt.Sprintf("video/%d/fov/%d", i%3, i), data, meta)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Keys()) != len(s.Keys()) {
+		t.Fatalf("restored %d keys, want %d", len(restored.Keys()), len(s.Keys()))
+	}
+	for _, k := range s.Keys() {
+		d1, m1, _ := s.Get(k)
+		d2, m2, _ := restored.Get(k)
+		if !bytes.Equal(d1, d2) || !bytes.Equal(m1, m2) {
+			t.Fatalf("key %q differs after restore", k)
+		}
+	}
+}
+
+func TestReplayIdempotent(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("1"), []byte("x"))
+	s.Put("b", []byte("2"), []byte("y"))
+	var buf bytes.Buffer
+	s.WriteTo(&buf)
+	snapshot := buf.Bytes()
+	target := New()
+	for i := 0; i < 3; i++ { // replaying the same log thrice changes nothing
+		if _, err := target.ReadFrom(bytes.NewReader(snapshot)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(target.Keys()) != 2 {
+		t.Fatalf("replayed store has %d keys", len(target.Keys()))
+	}
+	d, _, _ := target.Get("a")
+	if string(d) != "1" {
+		t.Error("replay corrupted value")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := New().ReadFrom(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	s := New()
+	s.Put("k", []byte("data"), []byte("m"))
+	s.WriteTo(&buf)
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := New().ReadFrom(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("g%d/%d", g, i%10)
+				s.Put(key, []byte{byte(i)}, []byte{byte(g)})
+				s.Get(key)
+				s.Keys()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(s.Keys()) != 80 {
+		t.Errorf("expected 80 keys, got %d", len(s.Keys()))
+	}
+}
+
+func TestSnapshotPropertyRoundTrip(t *testing.T) {
+	prop := func(keys []string, payload []byte) bool {
+		s := New()
+		for i, k := range keys {
+			if k == "" {
+				continue
+			}
+			s.Put(k, payload, []byte{byte(i)})
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return false
+		}
+		r := New()
+		if _, err := r.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			return false
+		}
+		if len(r.Keys()) != len(s.Keys()) {
+			return false
+		}
+		for _, k := range s.Keys() {
+			d1, _, _ := s.Get(k)
+			d2, _, _ := r.Get(k)
+			if !bytes.Equal(d1, d2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(61))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%d", i%3), []byte{byte(i)}, []byte{byte(i * 2)})
+	}
+	s.Compact()
+	first := s.DataBytes()
+	s.Compact()
+	if s.DataBytes() != first {
+		t.Errorf("second compaction changed size: %d vs %d", s.DataBytes(), first)
+	}
+	if s.LiveBytes() != first {
+		t.Errorf("compacted log has dead bytes: live %d vs log %d", s.LiveBytes(), first)
+	}
+	d, _, _ := s.Get("k2")
+	if len(d) != 1 || d[0] != 8 {
+		t.Errorf("latest version lost: %v", d)
+	}
+}
+
+func TestMetaBytesTracked(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("xx"), []byte("metadata"))
+	if s.MetaBytes() != 8 {
+		t.Errorf("meta bytes = %d", s.MetaBytes())
+	}
+}

@@ -1,0 +1,100 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+
+	"evr/internal/geom"
+)
+
+// Cluster is one k-means group of object directions (§5.3: "extract object
+// information and group objects into different clusters — each cluster
+// contains a unique set of objects that users tend to watch together").
+type Cluster struct {
+	Center  geom.Vec3
+	Members []int // indices into the input slice
+}
+
+// KMeans clusters unit directions on the sphere into at most k groups using
+// spherical k-means (cosine similarity, normalized mean centroids) with
+// farthest-point initialization. It is deterministic for a given seed.
+//
+// Fewer than k distinct inputs yield fewer clusters; empty clusters are
+// dropped.
+func KMeans(dirs []geom.Vec3, k int, seed int64) []Cluster {
+	if len(dirs) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(dirs) {
+		k = len(dirs)
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Farthest-point init: first center random, then repeatedly the point
+	// farthest (smallest max cosine) from existing centers.
+	centers := make([]geom.Vec3, 0, k)
+	centers = append(centers, dirs[rng.Intn(len(dirs))])
+	for len(centers) < k {
+		bestIdx, bestScore := -1, math.Inf(1)
+		for i, d := range dirs {
+			closest := math.Inf(-1)
+			for _, c := range centers {
+				if cos := d.Dot(c); cos > closest {
+					closest = cos
+				}
+			}
+			if closest < bestScore {
+				bestScore, bestIdx = closest, i
+			}
+		}
+		centers = append(centers, dirs[bestIdx])
+	}
+
+	assign := make([]int, len(dirs))
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, d := range dirs {
+			best, bestCos := 0, math.Inf(-1)
+			for ci, c := range centers {
+				if cos := d.Dot(c); cos > bestCos {
+					best, bestCos = ci, cos
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		for ci := range centers {
+			var sum geom.Vec3
+			n := 0
+			for i, a := range assign {
+				if a == ci {
+					sum = sum.Add(dirs[i])
+					n++
+				}
+			}
+			if n > 0 && sum.Norm() > 1e-12 {
+				centers[ci] = sum.Normalize()
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+
+	clusters := make([]Cluster, len(centers))
+	for ci, c := range centers {
+		clusters[ci] = Cluster{Center: c}
+	}
+	for i, a := range assign {
+		clusters[a].Members = append(clusters[a].Members, i)
+	}
+	out := clusters[:0]
+	for _, c := range clusters {
+		if len(c.Members) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
