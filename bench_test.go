@@ -9,6 +9,7 @@
 package evr_test
 
 import (
+	"fmt"
 	"testing"
 
 	"evr/internal/abr"
@@ -217,6 +218,37 @@ func BenchmarkPTReferenceRender(b *testing.B) {
 		pt.Render(cfg, full, o)
 	}
 	b.ReportMetric(float64(vp.Pixels()), "pixels/frame")
+}
+
+// BenchmarkRenderParallel measures the parallel tile-based render engine on
+// a 1080p viewport against the serial reference. Output is byte-identical
+// at every worker count; run with
+//
+//	go test -bench=RenderParallel -benchtime=3x
+//
+// and compare ns/op across the workers-N sub-benchmarks (the acceptance
+// target is ≥ 2× over serial at 4+ workers on a multicore host).
+func BenchmarkRenderParallel(b *testing.B) {
+	v, _ := scene.ByName("RS")
+	full := v.RenderFrame(0, projection.ERP, 512, 256)
+	o := geom.Orientation{Yaw: 0.4, Pitch: -0.1}
+	vp := projection.Viewport{Width: 1920, Height: 1080, FOVX: geom.Radians(110), FOVY: geom.Radians(110)}
+	cfg := pt.Config{Projection: projection.ERP, Filter: pt.Bilinear, Viewport: vp}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pt.Render(cfg, full, o)
+		}
+		b.ReportMetric(float64(vp.Pixels()), "pixels/frame")
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := pt.RenderParallel(cfg, full, o, workers)
+				pt.Recycle(out)
+			}
+			b.ReportMetric(float64(vp.Pixels()), "pixels/frame")
+		})
+	}
 }
 
 func BenchmarkPTEFixedPointRender(b *testing.B) {

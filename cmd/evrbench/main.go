@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	evrbench [-users N] [-fig ID]
+//	evrbench [-users N] [-fig ID] [-workers N]
 //
 // With -fig, only the named experiment runs (e.g. -fig "Fig 12"); the
 // default runs everything in paper order. -users controls the head-trace
-// population (default 59, the full corpus; smaller is faster).
+// population (default 59, the full corpus; smaller is faster). -workers
+// sizes the worker pool of the parallel PT render paths (0 = GOMAXPROCS);
+// every table is byte-identical regardless of the worker count.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"evr/internal/experiments"
 	"evr/internal/headtrace"
+	"evr/internal/pt"
 )
 
 func main() {
@@ -29,11 +32,17 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the ablation studies (Abl 1-7, Cmp 1)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	mdPath := flag.String("md", "", "also write a full markdown report to this file")
+	workers := flag.Int("workers", 0, "render worker pool size for parallel PT paths (0 = GOMAXPROCS; results are byte-identical for any value)")
 	flag.Parse()
 	if *users < 1 {
 		fmt.Fprintln(os.Stderr, "evrbench: -users must be ≥ 1")
 		os.Exit(2)
 	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "evrbench: -workers must be ≥ 0")
+		os.Exit(2)
+	}
+	pt.SetDefaultWorkers(*workers)
 	start := time.Now()
 	tables := experiments.All(*users)
 	lowFig := strings.ToLower(*fig)

@@ -36,6 +36,10 @@ type Player struct {
 	// a broken FOV video falls back to the original segment, a broken
 	// original freezes the last displayed frame. Without it, errors abort.
 	Resilient bool
+	// Workers sets the render worker pool for FOV-miss fallback frames
+	// (0 = one worker per PTU on the PTE path, GOMAXPROCS on the reference
+	// path). Output is byte-identical for every worker count.
+	Workers int
 }
 
 // PlaybackStats summarizes one playback run.
@@ -84,6 +88,11 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (PlaybackStat
 		}
 	}
 	refCfg := pt.Config{Projection: method, Filter: pt.Bilinear, Viewport: vp}
+	// Reject a nonsensical manifest (unknown projection, degenerate
+	// viewport) before the playback loop rather than mid-render.
+	if err := refCfg.Validate(); err != nil {
+		return stats, nil, err
+	}
 
 	var displayed []*frame.Frame
 	frameIdx := 0
@@ -170,10 +179,13 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (PlaybackStat
 					geom.Radians(p.HMD.FOVYDeg)/geom.Radians(man.FOVYDeg))
 			} else if f < len(origFrames) {
 				if engine != nil {
-					out = engine.Render(origFrames[f], o)
+					out = engine.RenderParallel(origFrames[f], o, p.Workers)
 					stats.PTEFrames++
 				} else {
-					out = pt.Render(refCfg, origFrames[f], o)
+					out, err = pt.RenderParallelChecked(refCfg, origFrames[f], o, p.Workers)
+					if err != nil {
+						return stats, nil, err
+					}
 				}
 			} else if p.Resilient && len(displayed) > 0 {
 				// Nothing decodable: repeat the last good frame.

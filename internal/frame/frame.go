@@ -57,6 +57,34 @@ func (f *Frame) Set(x, y int, r, g, b byte) {
 	f.Pix[i], f.Pix[i+1], f.Pix[i+2] = r, g, b
 }
 
+// AtWrapX returns the pixel at (x, y) with horizontal wrap-around: x is
+// taken modulo W while y clamps at the border. This is the edge policy of
+// 360° equirectangular frames, whose left and right edges meet at the ±180°
+// longitude seam; clamping there would blend a seam-crossing sample with the
+// wrong side of the panorama.
+func (f *Frame) AtWrapX(x, y int) (r, g, b byte) {
+	x = f.wrapX(x)
+	if y < 0 {
+		y = 0
+	}
+	if y >= f.H {
+		y = f.H - 1
+	}
+	i := (y*f.W + x) * 3
+	return f.Pix[i], f.Pix[i+1], f.Pix[i+2]
+}
+
+func (f *Frame) wrapX(x int) int {
+	if f.W <= 0 {
+		return 0
+	}
+	x %= f.W
+	if x < 0 {
+		x += f.W
+	}
+	return x
+}
+
 func (f *Frame) clamp(x, y int) (int, int) {
 	if x < 0 {
 		x = 0
@@ -98,6 +126,28 @@ func (f *Frame) BilinearAt(u, v float64) (r, g, b byte) {
 	r10, g10, b10 := f.At(x0+1, y0)
 	r01, g01, b01 := f.At(x0, y0+1)
 	r11, g11, b11 := f.At(x0+1, y0+1)
+	lerp2 := func(c00, c10, c01, c11 byte) byte {
+		top := float64(c00)*(1-fx) + float64(c10)*fx
+		bot := float64(c01)*(1-fx) + float64(c11)*fx
+		v := top*(1-fy) + bot*fy
+		return byte(math.Round(math.Min(255, math.Max(0, v))))
+	}
+	return lerp2(r00, r10, r01, r11), lerp2(g00, g10, g01, g11), lerp2(b00, b10, b01, b11)
+}
+
+// BilinearAtWrapX samples the frame at fractional coordinates (u, v) with
+// bilinear interpolation and horizontal wrap-around (see AtWrapX): samples
+// straddling the longitude seam of an equirectangular frame blend the true
+// neighbor column from the opposite edge instead of repeating the border.
+func (f *Frame) BilinearAtWrapX(u, v float64) (r, g, b byte) {
+	x0 := int(math.Floor(u))
+	y0 := int(math.Floor(v))
+	fx := u - float64(x0)
+	fy := v - float64(y0)
+	r00, g00, b00 := f.AtWrapX(x0, y0)
+	r10, g10, b10 := f.AtWrapX(x0+1, y0)
+	r01, g01, b01 := f.AtWrapX(x0, y0+1)
+	r11, g11, b11 := f.AtWrapX(x0+1, y0+1)
 	lerp2 := func(c00, c10, c01, c11 byte) byte {
 		top := float64(c00)*(1-fx) + float64(c10)*fx
 		bot := float64(c01)*(1-fx) + float64(c11)*fx

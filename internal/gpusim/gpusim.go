@@ -21,9 +21,11 @@ package gpusim
 
 import (
 	"fmt"
+	"sync"
 
 	"evr/internal/frame"
 	"evr/internal/geom"
+	"evr/internal/projection"
 	"evr/internal/pt"
 )
 
@@ -121,23 +123,60 @@ func (g *GPU) Stats() Stats { return g.stats }
 func (g *GPU) ResetStats() { g.stats = Stats{} }
 
 // Render executes one PT frame as texture mapping and returns the FOV frame.
+//
+// The perspective-update and mapping stages are pure per-pixel math, so the
+// (u, v) coordinate grid is precomputed by a parallel worker pool (the GPU's
+// shader cores). The texture-cache model is inherently order-dependent (LRU
+// state), so fetch accounting replays the raster scan serially over the
+// precomputed grid — stats stay deterministic for every worker count.
 func (g *GPU) Render(full *frame.Frame, o geom.Orientation) *frame.Frame {
 	cfg := g.cfg.PT
-	out := frame.New(cfg.Viewport.Width, cfg.Viewport.Height)
+	w, h := cfg.Viewport.Width, cfg.Viewport.Height
+	uv := make([]float64, 2*w*h)
+	workers := pt.DefaultWorkers()
+	if workers > h {
+		workers = h
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		j0, j1 := wk*h/workers, (wk+1)*h/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := cfg.NewMapper(o, full.W, full.H)
+			for j := j0; j < j1; j++ {
+				for i := 0; i < w; i++ {
+					u, v := m.Map(i, j)
+					uv[2*(j*w+i)] = u
+					uv[2*(j*w+i)+1] = v
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	out := frame.New(w, h)
 	tilesPerRow := (full.W + g.cfg.TileW - 1) / g.cfg.TileW
+	wrapX := cfg.Projection == projection.ERP
 	fetch := func(x, y float64) {
 		xi, yi := int(x), int(y)
-		if xi < 0 {
-			xi = 0
-		}
 		if yi < 0 {
 			yi = 0
 		}
-		if xi >= full.W {
-			xi = full.W - 1
-		}
 		if yi >= full.H {
 			yi = full.H - 1
+		}
+		if wrapX {
+			// ERP wraps in longitude: a seam-crossing texel fetch hits the
+			// tile on the opposite edge, matching the filtering fix.
+			xi = ((xi % full.W) + full.W) % full.W
+		} else {
+			if xi < 0 {
+				xi = 0
+			}
+			if xi >= full.W {
+				xi = full.W - 1
+			}
 		}
 		tile := (yi/g.cfg.TileH)*tilesPerRow + xi/g.cfg.TileW
 		g.stats.TexelFetches++
@@ -146,9 +185,9 @@ func (g *GPU) Render(full *frame.Frame, o geom.Orientation) *frame.Frame {
 			g.stats.DRAMReadBytes += int64(g.cfg.CacheLineB)
 		}
 	}
-	for j := 0; j < cfg.Viewport.Height; j++ {
-		for i := 0; i < cfg.Viewport.Width; i++ {
-			u, v := cfg.MapPixel(o, full, i, j)
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			u, v := uv[2*(j*w+i)], uv[2*(j*w+i)+1]
 			if cfg.Filter == pt.Bilinear {
 				fetch(u, v)
 				fetch(u+1, v)

@@ -1,0 +1,166 @@
+package pt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+)
+
+func randomFrame(w, h int, seed int64) *frame.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	f := frame.New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = byte(rng.Intn(256))
+	}
+	return f
+}
+
+// TestRenderParallelMatchesSerial is the determinism contract of the
+// parallel engine: for every projection × filter × worker count, the banded
+// parallel render is byte-identical to the serial reference raster scan.
+// The yaw puts the ERP viewport across the longitude seam so the wrap path
+// is exercised too. Run with -race to check the band partitioning.
+func TestRenderParallelMatchesSerial(t *testing.T) {
+	full := randomFrame(96, 48, 7)
+	o := geom.Orientation{Yaw: math.Pi - 0.1, Pitch: 0.15}
+	for _, m := range projection.Methods {
+		for _, flt := range []Filter{Nearest, Bilinear} {
+			cfg := Config{Projection: m, Filter: flt, Viewport: testViewport()}
+			want := Render(cfg, full, o)
+			for _, workers := range []int{1, 2, 8} {
+				got := RenderParallel(cfg, full, o, workers)
+				if !got.Equal(want) {
+					t.Errorf("%v/%v: %d-worker output differs from serial", m, flt, workers)
+				}
+				Recycle(got)
+			}
+			// workers=0 resolves to the default pool and must also match.
+			if got := RenderParallel(cfg, full, o, 0); !got.Equal(want) {
+				t.Errorf("%v/%v: default-worker output differs from serial", m, flt)
+			}
+		}
+	}
+}
+
+// TestERPSeamNoBorderBleed is the regression test for the longitude-wrap
+// bug: a bilinear sample between the last and first ERP columns must blend
+// the true neighbor from the opposite edge. Before the fix, frame sampling
+// clamped at the border, so every pixel in the wrap zone repeated the black
+// right edge instead of blending the white column 0.
+func TestERPSeamNoBorderBleed(t *testing.T) {
+	const fw, fh = 64, 32
+	full := frame.New(fw, fh)
+	for y := 0; y < fh; y++ {
+		full.Set(0, y, 255, 255, 255) // column 0 white, everything else black
+	}
+	cfg := Config{
+		Projection: projection.ERP,
+		Filter:     Bilinear,
+		Viewport: projection.Viewport{
+			Width: 192, Height: 8,
+			FOVX: geom.Radians(110), FOVY: geom.Radians(20),
+		},
+	}
+	o := geom.Orientation{Yaw: math.Pi} // look straight at the ±180° seam
+	out := Render(cfg, full, o)
+
+	m := cfg.NewMapper(o, fw, fh)
+	zone := 0
+	for j := 0; j < cfg.Viewport.Height; j++ {
+		for i := 0; i < cfg.Viewport.Width; i++ {
+			u, v := m.Map(i, j)
+			// Wrap zone: between the last column (x0 = fw-1) and the seam,
+			// with the wrapped column 0 carrying ≥ 10% of the blend weight.
+			if u <= float64(fw-1)+0.1 || u > float64(fw)-0.5 {
+				continue
+			}
+			zone++
+			if r, _, _ := out.At(i, j); r == 0 {
+				t.Fatalf("pixel (%d, %d) at u=%.2f is black: seam sample clamped instead of wrapping", i, j, u)
+			}
+			// The old clamped sampler is still what cubemaps use; confirm it
+			// would have produced the bled border here (the bug this guards).
+			if rc, _, _ := full.BilinearAt(u, v); rc != 0 {
+				t.Fatalf("clamped control sample at u=%.2f unexpectedly non-black", u)
+			}
+		}
+	}
+	if zone == 0 {
+		t.Fatal("no output pixel landed in the seam wrap zone; regression test is vacuous")
+	}
+}
+
+func TestRenderCheckedRejectsInvalidInput(t *testing.T) {
+	good := Config{Projection: projection.ERP, Filter: Bilinear, Viewport: testViewport()}
+	if _, err := RenderChecked(Config{}, frame.New(8, 8), geom.Orientation{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := RenderChecked(good, nil, geom.Orientation{}); err == nil {
+		t.Error("nil input frame accepted")
+	}
+	if _, err := RenderChecked(good, &frame.Frame{}, geom.Orientation{}); err == nil {
+		t.Error("empty input frame accepted")
+	}
+	if _, err := RenderParallelChecked(Config{}, frame.New(8, 8), geom.Orientation{}, 2); err == nil {
+		t.Error("parallel: invalid config accepted")
+	}
+	if out, err := RenderChecked(good, frame.New(8, 8), geom.Orientation{}); err != nil || out == nil {
+		t.Errorf("valid render failed: %v", err)
+	}
+}
+
+func TestRenderParallelPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	RenderParallel(Config{}, frame.New(4, 4), geom.Orientation{}, 2)
+}
+
+func TestRecycleReusesBuffers(t *testing.T) {
+	cfg := Config{Projection: projection.ERP, Filter: Nearest, Viewport: testViewport()}
+	full := randomFrame(64, 32, 11)
+	o := geom.Orientation{Yaw: 0.3}
+	want := Render(cfg, full, o)
+	// Recycled buffers must never leak stale pixels into later renders.
+	for i := 0; i < 4; i++ {
+		got := RenderParallel(cfg, full, o, 2)
+		if !got.Equal(want) {
+			t.Fatalf("render %d through the pool differs from reference", i)
+		}
+		Recycle(got)
+	}
+	Recycle(nil) // must not panic
+}
+
+func TestSetDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+	if DefaultWorkers() != 3 {
+		t.Errorf("DefaultWorkers = %d, want 3", DefaultWorkers())
+	}
+	SetDefaultWorkers(0)
+	if DefaultWorkers() < 1 {
+		t.Errorf("GOMAXPROCS default = %d, want ≥ 1", DefaultWorkers())
+	}
+}
+
+func TestMapperMatchesMapPixel(t *testing.T) {
+	cfg := Config{Projection: projection.EAC, Filter: Bilinear, Viewport: testViewport()}
+	o := geom.Orientation{Yaw: 1.1, Pitch: -0.4, Roll: 0.2}
+	m := cfg.NewMapper(o, 128, 64)
+	for j := 0; j < cfg.Viewport.Height; j += 7 {
+		for i := 0; i < cfg.Viewport.Width; i += 7 {
+			u1, v1 := m.Map(i, j)
+			u2, v2 := cfg.MapPixel(o, 128, 64, i, j)
+			if u1 != u2 || v1 != v2 {
+				t.Fatalf("Mapper (%v, %v) != MapPixel (%v, %v) at (%d, %d)", u1, v1, u2, v2, i, j)
+			}
+		}
+	}
+}

@@ -82,18 +82,68 @@ func (c Config) Validate() error {
 
 // MapPixel runs the perspective-update and mapping stages for output pixel
 // (i, j): it returns the input-frame coordinates (u, v) in pixels (not yet
-// normalized to integers — the filtering stage decides how to sample).
-func (c Config) MapPixel(o geom.Orientation, full *frame.Frame, i, j int) (u, v float64) {
-	dir := c.Viewport.Ray(o, i, j)
-	nu, nv := projection.ToPlane(c.Projection, dir)
+// normalized to integers — the filtering stage decides how to sample). Only
+// the input frame's dimensions matter here, so the signature takes them
+// directly; hot loops should build a Mapper once per frame instead of
+// calling this per pixel.
+func (c Config) MapPixel(o geom.Orientation, fullW, fullH, i, j int) (u, v float64) {
+	m := c.NewMapper(o, fullW, fullH)
+	return m.Map(i, j)
+}
+
+// Mapper holds the per-frame constants of the perspective-update and mapping
+// stages: the head rotation matrix, the FOV tangents, and the input-frame
+// scale factors. These depend only on (Config, Orientation, input size), so
+// a render computes them once instead of re-deriving them per pixel. Map is
+// a pure function of (i, j); a Mapper may be shared by concurrent workers.
+type Mapper struct {
+	proj         projection.Method
+	mat          geom.Mat3
+	tx, ty       float64
+	vpW, vpH     float64
+	fullW, fullH float64
+}
+
+// NewMapper precomputes the per-frame mapping state for head orientation o
+// and an input frame of the given dimensions.
+func (c Config) NewMapper(o geom.Orientation, fullW, fullH int) *Mapper {
+	return &Mapper{
+		proj:  c.Projection,
+		mat:   o.Matrix(),
+		tx:    math.Tan(c.Viewport.FOVX / 2),
+		ty:    math.Tan(c.Viewport.FOVY / 2),
+		vpW:   float64(c.Viewport.Width),
+		vpH:   float64(c.Viewport.Height),
+		fullW: float64(fullW),
+		fullH: float64(fullH),
+	}
+}
+
+// Map returns the input-frame pixel coordinates for output pixel (i, j).
+// It performs the exact float operations of Viewport.Ray + ToPlane, so the
+// result is bit-identical to the per-pixel MapPixel path.
+func (m *Mapper) Map(i, j int) (u, v float64) {
+	px := (2*(float64(i)+0.5)/m.vpW - 1) * m.tx
+	py := (1 - 2*(float64(j)+0.5)/m.vpH) * m.ty
+	dir := m.mat.Apply(geom.Vec3{X: px, Y: py, Z: 1}).Normalize()
+	nu, nv := projection.ToPlane(m.proj, dir)
 	// Map normalized coords to continuous pixel coordinates such that
 	// nu=0 → -0.5 (left edge) and nu=1 → W-0.5 (right edge), i.e. pixel
 	// centers sit at integer coordinates.
-	return nu*float64(full.W) - 0.5, nv*float64(full.H) - 0.5
+	return nu*m.fullW - 0.5, nv*m.fullH - 0.5
 }
 
-// Sample runs the filtering stage at input coordinates (u, v).
+// Sample runs the filtering stage at input coordinates (u, v). ERP input
+// wraps in longitude — its left and right edges are adjacent on the sphere —
+// so samples crossing the ±180° seam blend the opposite edge; the cubemap
+// projections keep the clamped border policy of their face layout.
 func (c Config) Sample(full *frame.Frame, u, v float64) (r, g, b byte) {
+	if c.Projection == projection.ERP {
+		if c.Filter == Bilinear {
+			return full.BilinearAtWrapX(u, v)
+		}
+		return full.AtWrapX(int(math.Round(u)), int(math.Round(v)))
+	}
 	switch c.Filter {
 	case Bilinear:
 		return full.BilinearAt(u, v)
@@ -105,20 +155,41 @@ func (c Config) Sample(full *frame.Frame, u, v float64) (r, g, b byte) {
 // Render executes the full PT for one frame: it produces the FOV frame for
 // head orientation o from the full panoramic frame. This is the reference
 // implementation of the operation the paper measures at ~40% of VR compute
-// and memory energy (Fig. 3b).
+// and memory energy (Fig. 3b). It panics on an invalid configuration; use
+// RenderChecked to get the error instead.
 func Render(c Config, full *frame.Frame, o geom.Orientation) *frame.Frame {
-	if err := c.Validate(); err != nil {
+	out, err := RenderChecked(c, full, o)
+	if err != nil {
 		panic(err)
 	}
+	return out
+}
+
+// RenderChecked is Render with up-front validation: it reports an invalid
+// configuration or input frame as an error instead of panicking mid-render.
+func RenderChecked(c Config, full *frame.Frame, o geom.Orientation) (*frame.Frame, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if full == nil || full.W <= 0 || full.H <= 0 {
+		return nil, fmt.Errorf("pt: input frame must be non-empty")
+	}
 	out := frame.New(c.Viewport.Width, c.Viewport.Height)
-	for j := 0; j < c.Viewport.Height; j++ {
+	c.renderRows(full, o, out, 0, c.Viewport.Height)
+	return out, nil
+}
+
+// renderRows renders output rows [j0, j1) into out. Rows are independent, so
+// disjoint row bands of the same output frame may render concurrently.
+func (c Config) renderRows(full *frame.Frame, o geom.Orientation, out *frame.Frame, j0, j1 int) {
+	m := c.NewMapper(o, full.W, full.H)
+	for j := j0; j < j1; j++ {
 		for i := 0; i < c.Viewport.Width; i++ {
-			u, v := c.MapPixel(o, full, i, j)
+			u, v := m.Map(i, j)
 			r, g, b := c.Sample(full, u, v)
 			out.Set(i, j, r, g, b)
 		}
 	}
-	return out
 }
 
 // Stats describes the arithmetic work of one PT frame, used by the energy

@@ -1,0 +1,74 @@
+package pte
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/pt"
+)
+
+func noisyFrame(w, h int, seed int64) *frame.Frame {
+	rng := rand.New(rand.NewSource(seed))
+	f := frame.New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = byte(rng.Intn(256))
+	}
+	return f
+}
+
+// TestRenderParallelMatchesRender checks the multi-PTU dispatch: banded
+// parallel rendering must produce the exact frame of the serial scan for
+// every projection and worker count, since the datapath is pure per pixel.
+func TestRenderParallelMatchesRender(t *testing.T) {
+	full := noisyFrame(96, 48, 3)
+	o := geom.Orientation{Yaw: math.Pi - 0.2, Pitch: 0.1}
+	vp := projection.Viewport{Width: 40, Height: 40, FOVX: geom.Radians(110), FOVY: geom.Radians(110)}
+	for _, m := range projection.Methods {
+		serial, err := New(DefaultConfig(m, pt.Bilinear, vp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := serial.Render(full, o)
+		for _, workers := range []int{1, 2, 4} {
+			e, err := New(DefaultConfig(m, pt.Bilinear, vp))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := e.RenderParallel(full, o, workers)
+			if !got.Equal(want) {
+				t.Errorf("%v: %d-worker PTE output differs from serial", m, workers)
+			}
+			s := e.Stats()
+			if s.Frames != 1 || s.OutputPixels != int64(vp.Pixels()) {
+				t.Errorf("%v: stats = %+v", m, s)
+			}
+			if s.PMEMLineRefills <= 0 || s.DRAMReadBytes != s.PMEMLineRefills*int64(full.W)*3 {
+				t.Errorf("%v: refill accounting inconsistent: %+v", m, s)
+			}
+		}
+	}
+}
+
+// TestERPSeamMatchesReference renders straight at the ±180° seam and checks
+// the fixed-point engine stays within the paper's error envelope of the
+// float reference there. Before the longitude wrap fix, tiny fixed-point
+// errors in u flipped seam samples to the far border and produced gross
+// pixel errors at this orientation.
+func TestERPSeamMatchesReference(t *testing.T) {
+	full := noisyFrame(128, 64, 9)
+	vp := projection.Viewport{Width: 48, Height: 48, FOVX: geom.Radians(110), FOVY: geom.Radians(110)}
+	cfg := DefaultConfig(projection.ERP, pt.Bilinear, vp)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := geom.Orientation{Yaw: math.Pi}
+	ref := pt.Render(pt.Config{Projection: projection.ERP, Filter: pt.Bilinear, Viewport: vp}, full, o)
+	if mae := frame.MAE(e.Render(full, o), ref); mae > 2e-2 {
+		t.Errorf("seam MAE = %v, want ≤ 2e-2", mae)
+	}
+}

@@ -20,6 +20,7 @@ package pte
 
 import (
 	"fmt"
+	"sync"
 
 	"evr/internal/fixed"
 	"evr/internal/frame"
@@ -224,6 +225,76 @@ func (e *Engine) Render(full *frame.Frame, o geom.Orientation) *frame.Frame {
 	e.stats.DRAMReadBytes += readBytes
 	e.stats.DRAMWriteBytes += writeBytes
 	e.stats.PMEMLineRefills += pmem.refills
+	return out
+}
+
+// RenderParallel runs the same pixel pipeline as Render with the output
+// viewport banded across a pool of workers, the software analogue of the
+// multi-PTU dispatch (§6.2): each PTU owns a contiguous band of output rows
+// and a private window of the P-MEM scratchpad. workers <= 0 uses NumPTUs.
+// The FOV frame is byte-identical to Render's for every worker count (the
+// datapath is pure per pixel); the P-MEM refill count can differ slightly
+// because band boundaries re-fetch shared input rows, exactly as private
+// per-PTU line-buffer windows would.
+func (e *Engine) RenderParallel(full *frame.Frame, o geom.Orientation, workers int) *frame.Frame {
+	if full.W == 0 || full.H == 0 {
+		panic("pte: empty input frame")
+	}
+	h := e.cfg.Viewport.Height
+	if workers <= 0 {
+		workers = e.cfg.NumPTUs
+	}
+	if workers > h {
+		workers = h
+	}
+	if workers <= 1 {
+		return e.Render(full, o)
+	}
+	out := frame.New(e.cfg.Viewport.Width, h)
+	e.dp.beginFrame(o, full.W, full.H)
+	pmemBank := e.cfg.PMEMSize / workers
+	if pmemBank < 1 {
+		pmemBank = 1
+	}
+	pmems := make([]*lineBuffer, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		j0, j1 := w*h/workers, (w+1)*h/workers
+		pmem := newLineBuffer(pmemBank, full.W)
+		pmems[w] = pmem
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := j0; j < j1; j++ {
+				for i := 0; i < e.cfg.Viewport.Width; i++ {
+					r, g, b := e.dp.pixel(full, pmem, i, j)
+					out.Set(i, j, r, g, b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var refills int64
+	for _, pmem := range pmems {
+		refills += pmem.refills
+	}
+	px := int64(out.W) * int64(out.H)
+	compute := (px + int64(e.cfg.NumPTUs) - 1) / int64(e.cfg.NumPTUs)
+	readBytes := refills * int64(full.W) * 3
+	writeBytes := int64(out.Bytes())
+	dma := (readBytes + writeBytes + dmaBytesPerCycle - 1) / dmaBytesPerCycle
+	stall := dma - compute
+	if stall < 0 {
+		stall = 0
+	}
+	e.stats.Frames++
+	e.stats.OutputPixels += px
+	e.stats.Cycles += compute + pipelineDepth + stall
+	e.stats.StallCycles += stall
+	e.stats.DRAMReadBytes += readBytes
+	e.stats.DRAMWriteBytes += writeBytes
+	e.stats.PMEMLineRefills += refills
 	return out
 }
 

@@ -117,8 +117,10 @@ func NewAssessor(m projection.Method, outW, outH int) Assessor {
 func (a Assessor) Assess(ref, distorted *frame.Frame) Report {
 	var rep Report
 	for _, view := range a.Views {
-		pr := pt.Render(a.PT, ref, view)
-		pd := pt.Render(a.PT, distorted, view)
+		// The parallel renderer is byte-identical to the serial reference,
+		// so scores are unaffected by the worker count.
+		pr := pt.RenderParallel(a.PT, ref, view, 0)
+		pd := pt.RenderParallel(a.PT, distorted, view, 0)
 		vs := ViewScore{View: view, PSNR: frame.PSNR(pr, pd), SSIM: SSIM(pr, pd)}
 		rep.Views = append(rep.Views, vs)
 		if math.IsInf(vs.PSNR, 1) {

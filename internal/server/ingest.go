@@ -14,6 +14,9 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"evr/internal/codec"
 	"evr/internal/frame"
@@ -56,6 +59,20 @@ type IngestConfig struct {
 	// produced — clients play the original segments and pay PT on device
 	// (which is why only the H primitive applies to live content).
 	LiveMode bool
+
+	// Workers bounds the ingest worker pool that fans out segment frame
+	// rendering and per-cluster FOV pre-rendering/encoding; 0 uses
+	// GOMAXPROCS. The manifest and every stored payload are byte-identical
+	// for all worker counts.
+	Workers int
+}
+
+// workerCount resolves Workers to an effective pool size.
+func (c IngestConfig) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultIngestConfig returns a test-scale pipeline: 192×96 panoramas with
@@ -96,6 +113,9 @@ func (c IngestConfig) Validate() error {
 	}
 	if c.MaxSegments < 0 {
 		return fmt.Errorf("server: MaxSegments must be ≥ 0")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("server: Workers must be ≥ 0")
 	}
 	return nil
 }
@@ -187,11 +207,13 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 		if start+frames > total {
 			frames = total - start
 		}
-		// Render the original segment once.
+		// Render the original segment once, fanning frames out across the
+		// worker pool (scene sampling is pure per frame).
 		full := make([]*frame.Frame, frames)
-		for f := 0; f < frames; f++ {
+		parallelFor(frames, cfg.workerCount(), func(f int) error {
 			full[f] = v.RenderFrame(float64(start+f)/float64(v.FPS), cfg.Projection, cfg.FullW, cfg.FullH)
-		}
+			return nil
+		})
 		// Encode and store the original segment.
 		origBits, err := codec.EncodeSequence(cfg.Codec, full)
 		if err != nil {
@@ -216,13 +238,34 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 			tracks = detectedClusterTracks(v, cfg, full, &man.Report)
 		}
 		segInfo := SegmentInfo{Index: si, Frames: frames, OrigBytes: len(origPayload)}
-		for ci, centers := range tracks {
-			info, err := preRenderCluster(v, cfg, st, ptCfg, full, si, ci, centers)
+		// Pre-render and encode every cluster's FOV video concurrently;
+		// store writes and manifest appends happen afterwards in cluster
+		// order, so the output is deterministic for any worker count.
+		rendered := make([]renderedCluster, len(tracks))
+		// Split the worker budget: clusters fan out across the pool, and
+		// each cluster's per-frame PT uses the workers left over (all of
+		// them when the segment has a single cluster).
+		innerWorkers := 1
+		if len(tracks) > 0 {
+			innerWorkers = (cfg.workerCount() + len(tracks) - 1) / len(tracks)
+		}
+		err = parallelFor(len(tracks), cfg.workerCount(), func(ci int) error {
+			rc, err := preRenderCluster(v, cfg, ptCfg, full, si, ci, tracks[ci], innerWorkers)
 			if err != nil {
+				return err
+			}
+			rendered[ci] = rc
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ci, rc := range rendered {
+			if err := st.Put(fovKey(v.Name, si, ci), rc.payload, rc.metaJSON); err != nil {
 				return nil, err
 			}
 			man.Report.PreRenderedFrames += frames
-			segInfo.Clusters = append(segInfo.Clusters, info)
+			segInfo.Clusters = append(segInfo.Clusters, rc.info)
 		}
 		man.Segments = append(man.Segments, segInfo)
 	}
@@ -318,10 +361,19 @@ func embeddedClusterTracks(v scene.VideoSpec, cfg IngestConfig, start, frames in
 	return out
 }
 
+// renderedCluster is the in-memory result of pre-rendering one cluster,
+// produced by the parallel fan-out and committed to the store in order.
+type renderedCluster struct {
+	info     ClusterInfo
+	payload  []byte
+	metaJSON []byte
+}
+
 // preRenderCluster pre-renders and encodes one cluster's FOV video from its
-// per-frame trajectory orientations.
-func preRenderCluster(v scene.VideoSpec, cfg IngestConfig, st *store.Store, ptCfg pt.Config,
-	full []*frame.Frame, si, ci int, centers []geom.Orientation) (ClusterInfo, error) {
+// per-frame trajectory orientations. It only reads shared state, so clusters
+// of a segment pre-render concurrently.
+func preRenderCluster(v scene.VideoSpec, cfg IngestConfig, ptCfg pt.Config,
+	full []*frame.Frame, si, ci int, centers []geom.Orientation, workers int) (renderedCluster, error) {
 
 	fovFrames := make([]*frame.Frame, len(full))
 	meta := make([]FrameMeta, len(full))
@@ -329,21 +381,74 @@ func preRenderCluster(v scene.VideoSpec, cfg IngestConfig, st *store.Store, ptCf
 		o := centers[f]
 		meta[f] = FrameMeta{Yaw: o.Yaw, Pitch: o.Pitch}
 		// Server-side PT: the pre-rendering that spares the client (§5.2).
-		fovFrames[f] = pt.Render(ptCfg, full[f], o)
+		fov, err := pt.RenderParallelChecked(ptCfg, full[f], o, workers)
+		if err != nil {
+			return renderedCluster{}, fmt.Errorf("server: pre-rendering FOV video %d/%d of %s: %w", si, ci, v.Name, err)
+		}
+		fovFrames[f] = fov
 	}
 	bits, err := codec.EncodeSequence(cfg.Codec, fovFrames)
 	if err != nil {
-		return ClusterInfo{}, fmt.Errorf("server: encoding FOV video %d/%d of %s: %w", si, ci, v.Name, err)
+		return renderedCluster{}, fmt.Errorf("server: encoding FOV video %d/%d of %s: %w", si, ci, v.Name, err)
 	}
 	payload := marshalBitstream(bits)
+	for _, fov := range fovFrames {
+		pt.Recycle(fov)
+	}
 	metaJSON, err := json.Marshal(meta)
 	if err != nil {
-		return ClusterInfo{}, err
+		return renderedCluster{}, err
 	}
-	if err := st.Put(fovKey(v.Name, si, ci), payload, metaJSON); err != nil {
-		return ClusterInfo{}, err
+	return renderedCluster{
+		info:     ClusterInfo{ID: ci, Bytes: len(payload), Meta: meta},
+		payload:  payload,
+		metaJSON: metaJSON,
+	}, nil
+}
+
+// parallelFor runs fn(0..n-1) on a pool of `workers` goroutines and returns
+// the first error (remaining items still run; work items must be
+// independent).
+func parallelFor(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
 	}
-	return ClusterInfo{ID: ci, Bytes: len(payload), Meta: meta}, nil
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
 }
 
 // marshalBitstream serializes a codec.Bitstream: header (W, H, count) then

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"evr/internal/scene"
+	"evr/internal/store"
+)
+
+// TestIngestDeterministicAcrossWorkerCounts checks the parallel fan-out
+// contract: the manifest and every stored payload (original segments, FOV
+// videos, metadata) are byte-identical whether ingest runs on one worker or
+// many. Run with -race to check the segment/cluster fan-out.
+func TestIngestDeterministicAcrossWorkerCounts(t *testing.T) {
+	v, _ := scene.ByName("RS")
+
+	type result struct {
+		man *Manifest
+		st  *store.Store
+	}
+	var results []result
+	for _, workers := range []int{1, 4} {
+		cfg := smallIngest()
+		cfg.Workers = workers
+		st := store.New()
+		man, err := Ingest(v, cfg, st)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		results = append(results, result{man, st})
+	}
+
+	a, b := results[0], results[1]
+	aj, _ := json.Marshal(a.man)
+	bj, _ := json.Marshal(b.man)
+	if string(aj) != string(bj) {
+		t.Error("manifests differ between worker counts")
+	}
+	for _, seg := range a.man.Segments {
+		keys := []string{origKey(v.Name, seg.Index)}
+		for _, cl := range seg.Clusters {
+			keys = append(keys, fovKey(v.Name, seg.Index, cl.ID))
+		}
+		for _, key := range keys {
+			ap, am, aok := a.st.Get(key)
+			bp, bm, bok := b.st.Get(key)
+			if !aok || !bok {
+				t.Fatalf("missing key %s: %v / %v", key, aok, bok)
+			}
+			if string(ap) != string(bp) || string(am) != string(bm) {
+				t.Errorf("payload for %s differs between worker counts", key)
+			}
+		}
+	}
+}
+
+func TestIngestConfigRejectsNegativeWorkers(t *testing.T) {
+	cfg := DefaultIngestConfig()
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative Workers accepted")
+	}
+}
+
+func TestParallelForCoversAllItemsAndPropagatesError(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		hits := make([]int32, 100)
+		err := parallelFor(len(hits), workers, func(i int) error {
+			hits[i]++
+			if i == 37 {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Errorf("workers=%d: error not propagated", workers)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, h)
+			}
+		}
+	}
+	if err := parallelFor(0, 4, func(int) error { return fmt.Errorf("never") }); err != nil {
+		t.Errorf("empty range returned %v", err)
+	}
+}
