@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI gate: vet, build, and run the full test suite under the race detector.
 # The parallel render engine (pt.RenderParallel, pte.RenderParallel, server
-# ingest fan-out) must stay race-clean; every PR runs this before merge.
+# ingest fan-out) and the client fetch layer (prefetcher + singleflight +
+# LRU cache) must stay race-clean; every PR runs this before merge.
 set -eux
 
 go vet ./...

@@ -1,10 +1,13 @@
 // Command evrclient plays a video from an EVR server, replaying a synthetic
 // user's head trace, and reports the playback statistics: FOV hits, misses,
-// fallbacks, fetched bytes, and PTE-rendered frames.
+// fallbacks, fetched bytes, PTE-rendered frames, and the fetch layer's
+// cache/retry/timeout counters.
 //
 // Usage:
 //
-//	evrclient [-url http://localhost:8090] [-video RS] [-user 0] [-segments 4] [-har]
+//	evrclient [-url http://localhost:8090] [-video RS] [-user 0] [-segments 4]
+//	          [-har] [-resilient] [-timeout 10s] [-retries 3]
+//	          [-cache 8] [-prefetch] [-max-response 67108864]
 package main
 
 import (
@@ -25,6 +28,12 @@ func main() {
 	user := flag.Int("user", 0, "user index for the head trace")
 	segments := flag.Int("segments", 4, "segments to play (0 = all available)")
 	har := flag.Bool("har", true, "render FOV misses on the PTE accelerator")
+	resilient := flag.Bool("resilient", false, "survive corrupt/missing payloads (degrade instead of abort)")
+	timeout := flag.Duration("timeout", client.DefaultFetchConfig().Timeout, "per-request HTTP timeout (0 = none)")
+	retries := flag.Int("retries", client.DefaultFetchConfig().MaxRetries, "retries per request on transient failures")
+	cache := flag.Int("cache", client.DefaultFetchConfig().CacheSegments, "decoded-segment LRU cache capacity (0 = off)")
+	prefetch := flag.Bool("prefetch", true, "prefetch the next segment's FOV video and fallback in the background")
+	maxResponse := flag.Int64("max-response", client.DefaultFetchConfig().MaxResponseBytes, "response size cap in bytes (0 = unlimited)")
 	flag.Parse()
 
 	v, ok := scene.ByName(*video)
@@ -33,6 +42,12 @@ func main() {
 	}
 	p := client.NewPlayer(*url)
 	p.UseHAR = *har
+	p.Resilient = *resilient
+	p.Fetch.Timeout = *timeout
+	p.Fetch.MaxRetries = *retries
+	p.Fetch.CacheSegments = *cache
+	p.Fetch.Prefetch = *prefetch
+	p.Fetch.MaxResponseBytes = *maxResponse
 	imu := hmd.NewIMU(headtrace.Generate(v, *user))
 
 	start := time.Now()
@@ -43,13 +58,19 @@ func main() {
 	elapsed := time.Since(start)
 
 	fmt.Printf("played %s (user %d) through %s\n", *video, *user, *url)
-	fmt.Printf("  frames:        %d (%d displayed)\n", stats.Frames, len(frames))
-	fmt.Printf("  FOV hits:      %d (%.1f%%)\n", stats.Hits, 100*float64(stats.Hits)/float64(max(1, stats.Frames)))
-	fmt.Printf("  FOV misses:    %d\n", stats.Misses)
-	fmt.Printf("  fallbacks:     %d segments\n", stats.Fallbacks)
-	fmt.Printf("  PTE frames:    %d\n", stats.PTEFrames)
-	fmt.Printf("  bytes fetched: %d\n", stats.BytesFetched)
-	fmt.Printf("  wall time:     %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  frames:         %d (%d displayed)\n", stats.Frames, len(frames))
+	fmt.Printf("  FOV hits:       %d (%.1f%%)\n", stats.Hits, 100*float64(stats.Hits)/float64(max(1, stats.Frames)))
+	fmt.Printf("  FOV misses:     %d\n", stats.Misses)
+	fmt.Printf("  fallbacks:      %d segments\n", stats.Fallbacks)
+	fmt.Printf("  PTE frames:     %d\n", stats.PTEFrames)
+	fmt.Printf("  bytes fetched:  %d\n", stats.BytesFetched)
+	fmt.Printf("  cache hits:     %d (%d via prefetch)\n", stats.CacheHits, stats.PrefetchHits)
+	fmt.Printf("  retries:        %d\n", stats.Retries)
+	fmt.Printf("  timeouts:       %d\n", stats.TimedOut)
+	if *resilient {
+		fmt.Printf("  payload errors: %d (%d frozen frames)\n", stats.PayloadErrors, stats.FrozenFrames)
+	}
+	fmt.Printf("  wall time:      %v\n", elapsed.Round(time.Millisecond))
 }
 
 func max(a, b int) int {

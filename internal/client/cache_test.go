@@ -1,0 +1,86 @@
+package client
+
+import (
+	"testing"
+
+	"evr/internal/frame"
+)
+
+func ckey(seg, cluster int) segmentKey {
+	return segmentKey{video: "v", seg: seg, cluster: cluster}
+}
+
+func centry() segmentEntry {
+	return segmentEntry{frames: []*frame.Frame{frame.New(2, 2)}}
+}
+
+func TestSegmentCacheLRUEviction(t *testing.T) {
+	c := newSegmentCache(2)
+	c.put(ckey(0, 0), centry())
+	c.put(ckey(1, 0), centry())
+	// Touch segment 0 so segment 1 is the LRU victim.
+	if _, _, ok := c.get(ckey(0, 0)); !ok {
+		t.Fatal("segment 0 missing")
+	}
+	c.put(ckey(2, 0), centry())
+	if _, _, ok := c.get(ckey(1, 0)); ok {
+		t.Error("LRU victim (segment 1) still cached")
+	}
+	if _, _, ok := c.get(ckey(0, 0)); !ok {
+		t.Error("recently-used segment 0 evicted")
+	}
+	if _, _, ok := c.get(ckey(2, 0)); !ok {
+		t.Error("newest segment 2 evicted")
+	}
+	if c.evicted() != 1 {
+		t.Errorf("evictions = %d, want 1", c.evicted())
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestSegmentCachePrefetchFlagConsumedOnce(t *testing.T) {
+	c := newSegmentCache(4)
+	e := centry()
+	e.prefetched = true
+	c.put(ckey(0, 0), e)
+
+	// contains must not consume the flag.
+	if !c.contains(ckey(0, 0)) {
+		t.Fatal("contains missed")
+	}
+	_, wasPre, ok := c.get(ckey(0, 0))
+	if !ok || !wasPre {
+		t.Fatalf("first demand get: ok=%v wasPrefetched=%v, want true/true", ok, wasPre)
+	}
+	_, wasPre, ok = c.get(ckey(0, 0))
+	if !ok || wasPre {
+		t.Fatalf("second demand get: ok=%v wasPrefetched=%v, want true/false", ok, wasPre)
+	}
+}
+
+func TestSegmentCacheRePutKeepsDemandStatus(t *testing.T) {
+	c := newSegmentCache(4)
+	c.put(ckey(0, 0), centry()) // demand insert
+	late := centry()
+	late.prefetched = true
+	c.put(ckey(0, 0), late) // late prefetch must not re-arm the flag
+	if _, wasPre, _ := c.get(ckey(0, 0)); wasPre {
+		t.Error("late prefetch re-armed the PrefetchHit flag")
+	}
+}
+
+func TestNilSegmentCacheNeverHits(t *testing.T) {
+	c := newSegmentCache(0)
+	if c != nil {
+		t.Fatal("capacity 0 should return a nil cache")
+	}
+	c.put(ckey(0, 0), centry())
+	if _, _, ok := c.get(ckey(0, 0)); ok {
+		t.Error("nil cache hit")
+	}
+	if c.contains(ckey(0, 0)) || c.len() != 0 || c.evicted() != 0 {
+		t.Error("nil cache not inert")
+	}
+}

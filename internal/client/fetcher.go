@@ -1,0 +1,393 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evr/internal/codec"
+	"evr/internal/frame"
+	"evr/internal/server"
+)
+
+// FetchConfig tunes the client fetch layer: transport robustness (timeout,
+// retries, response cap) and latency hiding (decoded-segment cache, async
+// prefetch). The zero value disables caching and prefetching and applies no
+// timeout; use DefaultFetchConfig for production-shaped defaults.
+type FetchConfig struct {
+	// Timeout bounds each HTTP attempt (connect through body read).
+	// 0 = no timeout.
+	Timeout time.Duration
+	// MaxRetries is how many times a transient failure (network error,
+	// timeout, 5xx, 429) is retried after the first attempt.
+	MaxRetries int
+	// BackoffBase is the pre-jitter delay before the first retry; each
+	// subsequent retry doubles it up to BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff delay.
+	BackoffMax time.Duration
+	// MaxResponseBytes rejects any response body larger than this
+	// (0 = unlimited). A lying or hostile origin cannot balloon client
+	// memory past the cap.
+	MaxResponseBytes int64
+	// CacheSegments is the decoded-segment LRU capacity, counted in
+	// segments (FOV videos and originals alike). 0 disables caching —
+	// and with it prefetching, which has nowhere to park its results.
+	CacheSegments int
+	// Prefetch enables background fetch+decode of the next segment's
+	// best-guess FOV video and its original-segment fallback while the
+	// current segment is displayed (§5.3's latency-hiding counterpart).
+	Prefetch bool
+}
+
+// DefaultFetchConfig returns the production defaults: 10 s per-attempt
+// timeout, 3 retries with 50 ms–2 s exponential backoff, 64 MiB response
+// cap, an 8-segment decoded cache, and prefetching on.
+func DefaultFetchConfig() FetchConfig {
+	return FetchConfig{
+		Timeout:          10 * time.Second,
+		MaxRetries:       3,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffMax:       2 * time.Second,
+		MaxResponseBytes: 64 << 20,
+		CacheSegments:    8,
+		Prefetch:         true,
+	}
+}
+
+// FetchCounters is a snapshot of the fetch layer's activity.
+type FetchCounters struct {
+	// CacheHits counts demand requests served without a new download:
+	// from the decoded cache or by joining an in-flight fetch.
+	CacheHits int64
+	// PrefetchHits is the subset of CacheHits whose content was put there
+	// by the prefetcher — fetch latency fully hidden from playback.
+	PrefetchHits int64
+	// PrefetchIssued counts background prefetches started.
+	PrefetchIssued int64
+	// Retries counts retried HTTP attempts (after transient failures).
+	Retries int64
+	// TimedOut counts attempts cut off by the per-request timeout.
+	TimedOut int64
+	// BytesFetched is the total response bytes received over the wire.
+	BytesFetched int64
+	// Evictions counts segments dropped from the LRU cache.
+	Evictions int64
+}
+
+// Fetcher is the client's network layer: a retrying, timeout-bearing HTTP
+// transport below an LRU cache of decoded segments, with singleflight
+// deduplication so a prefetch and an on-demand request for the same
+// segment never download it twice. Safe for concurrent use.
+type Fetcher struct {
+	cfg   FetchConfig
+	http  *http.Client
+	cache *segmentCache
+
+	mu      sync.Mutex
+	flights map[segmentKey]*flightCall
+	wg      sync.WaitGroup // outstanding prefetch goroutines
+
+	cacheHits      atomic.Int64
+	prefetchHits   atomic.Int64
+	prefetchIssued atomic.Int64
+	retries        atomic.Int64
+	timedOut       atomic.Int64
+	bytesFetched   atomic.Int64
+}
+
+// flightCall is one in-flight segment download+decode that concurrent
+// requesters share.
+type flightCall struct {
+	done     chan struct{}
+	entry    segmentEntry
+	err      error
+	prefetch bool // started by the prefetcher
+	consumed bool // a demand requester joined before completion (under Fetcher.mu)
+}
+
+// NewFetcher builds a fetcher. A nil httpClient gets a default client whose
+// end-to-end timeout matches cfg.Timeout; a caller-supplied client is used
+// as-is, with cfg.Timeout still enforced per attempt via request contexts.
+func NewFetcher(cfg FetchConfig, httpClient *http.Client) *Fetcher {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: cfg.Timeout}
+	}
+	return &Fetcher{
+		cfg:     cfg,
+		http:    httpClient,
+		cache:   newSegmentCache(cfg.CacheSegments),
+		flights: make(map[segmentKey]*flightCall),
+	}
+}
+
+// Counters snapshots the fetch layer's activity counters.
+func (f *Fetcher) Counters() FetchCounters {
+	return FetchCounters{
+		CacheHits:      f.cacheHits.Load(),
+		PrefetchHits:   f.prefetchHits.Load(),
+		PrefetchIssued: f.prefetchIssued.Load(),
+		Retries:        f.retries.Load(),
+		TimedOut:       f.timedOut.Load(),
+		BytesFetched:   f.bytesFetched.Load(),
+		Evictions:      f.cache.evicted(),
+	}
+}
+
+// Manifest fetches and parses a video's manifest. Manifests are small,
+// change on re-ingest, and are fetched once per playback, so they bypass
+// the segment cache but still get the retrying transport.
+func (f *Fetcher) Manifest(baseURL, video string) (*server.Manifest, error) {
+	body, err := f.get(fmt.Sprintf("%s/v/%s/manifest", baseURL, video))
+	if err != nil {
+		return nil, err
+	}
+	var man server.Manifest
+	if err := json.Unmarshal(body, &man); err != nil {
+		return nil, fmt.Errorf("client: parsing manifest: %w", err)
+	}
+	return &man, nil
+}
+
+// FOVSegment returns the decoded frames and per-frame metadata of one FOV
+// video, from cache when possible.
+func (f *Fetcher) FOVSegment(baseURL, video string, seg, cluster int) ([]*frame.Frame, []server.FrameMeta, error) {
+	key := segmentKey{video: video, seg: seg, cluster: cluster}
+	e, err := f.segment(key, false, func() (segmentEntry, error) {
+		return f.loadFOV(baseURL, video, seg, cluster)
+	})
+	return e.frames, e.meta, err
+}
+
+// OrigSegment returns the decoded frames of one original (full-panorama)
+// segment, from cache when possible.
+func (f *Fetcher) OrigSegment(baseURL, video string, seg int) ([]*frame.Frame, error) {
+	key := segmentKey{video: video, seg: seg, cluster: origCluster}
+	e, err := f.segment(key, false, func() (segmentEntry, error) {
+		return f.loadOrig(baseURL, video, seg)
+	})
+	return e.frames, err
+}
+
+// PrefetchFOV warms the cache with a FOV video in the background.
+func (f *Fetcher) PrefetchFOV(baseURL, video string, seg, cluster int) {
+	f.prefetchSegment(segmentKey{video: video, seg: seg, cluster: cluster}, func() (segmentEntry, error) {
+		return f.loadFOV(baseURL, video, seg, cluster)
+	})
+}
+
+// PrefetchOrig warms the cache with an original segment in the background.
+func (f *Fetcher) PrefetchOrig(baseURL, video string, seg int) {
+	f.prefetchSegment(segmentKey{video: video, seg: seg, cluster: origCluster}, func() (segmentEntry, error) {
+		return f.loadOrig(baseURL, video, seg)
+	})
+}
+
+// Wait blocks until all outstanding prefetches have completed.
+func (f *Fetcher) Wait() { f.wg.Wait() }
+
+// prefetchSegment spawns a background fill of one segment. Prefetch errors
+// are swallowed: a later demand fetch retries and reports them.
+func (f *Fetcher) prefetchSegment(key segmentKey, load func() (segmentEntry, error)) {
+	if f.cache == nil || !f.cfg.Prefetch {
+		return
+	}
+	f.prefetchIssued.Add(1)
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		f.segment(key, true, load) //nolint:errcheck // best-effort warm-up
+	}()
+}
+
+// segment serves one decoded segment through cache and singleflight.
+func (f *Fetcher) segment(key segmentKey, prefetch bool, load func() (segmentEntry, error)) (segmentEntry, error) {
+	if prefetch {
+		if f.cache.contains(key) {
+			return segmentEntry{}, nil
+		}
+	} else if e, wasPrefetched, ok := f.cache.get(key); ok {
+		f.cacheHits.Add(1)
+		if wasPrefetched {
+			f.prefetchHits.Add(1)
+		}
+		return e, nil
+	}
+
+	f.mu.Lock()
+	if c, ok := f.flights[key]; ok {
+		if !prefetch {
+			joinedPrefetch := c.prefetch && !c.consumed
+			c.consumed = true
+			f.cacheHits.Add(1)
+			if joinedPrefetch {
+				f.prefetchHits.Add(1)
+			}
+		}
+		f.mu.Unlock()
+		<-c.done
+		return c.entry, c.err
+	}
+	c := &flightCall{done: make(chan struct{}), prefetch: prefetch}
+	f.flights[key] = c
+	f.mu.Unlock()
+
+	c.entry, c.err = load()
+
+	f.mu.Lock()
+	delete(f.flights, key)
+	stillPrefetch := c.prefetch && !c.consumed
+	f.mu.Unlock()
+	if c.err == nil {
+		c.entry.prefetched = stillPrefetch
+		f.cache.put(key, c.entry)
+	}
+	close(c.done)
+	return c.entry, c.err
+}
+
+// loadFOV downloads and decodes one FOV video plus its metadata.
+func (f *Fetcher) loadFOV(baseURL, video string, seg, cluster int) (segmentEntry, error) {
+	payload, err := f.get(fmt.Sprintf("%s/v/%s/fov/%d/%d", baseURL, video, seg, cluster))
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	bits, err := server.UnmarshalBitstream(payload)
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	frames, err := codec.DecodeSequence(bits)
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	metaRaw, err := f.get(fmt.Sprintf("%s/v/%s/fovmeta/%d/%d", baseURL, video, seg, cluster))
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	var meta []server.FrameMeta
+	if err := json.Unmarshal(metaRaw, &meta); err != nil {
+		return segmentEntry{}, fmt.Errorf("client: parsing FOV metadata: %w", err)
+	}
+	return segmentEntry{frames: frames, meta: meta}, nil
+}
+
+// loadOrig downloads and decodes one original segment.
+func (f *Fetcher) loadOrig(baseURL, video string, seg int) (segmentEntry, error) {
+	payload, err := f.get(fmt.Sprintf("%s/v/%s/orig/%d", baseURL, video, seg))
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	bits, err := server.UnmarshalBitstream(payload)
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	frames, err := codec.DecodeSequence(bits)
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	return segmentEntry{frames: frames}, nil
+}
+
+// get performs one HTTP GET with per-attempt timeout, bounded retries with
+// exponential backoff + jitter on transient failures, and the response
+// size cap.
+func (f *Fetcher) get(url string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		body, err, transient := f.attempt(url)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if !transient || attempt >= f.cfg.MaxRetries {
+			return nil, lastErr
+		}
+		f.retries.Add(1)
+		f.backoff(attempt)
+	}
+}
+
+// attempt is one HTTP round trip. transient reports whether the failure is
+// worth retrying.
+func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool) {
+	ctx := context.Background()
+	if f.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.cfg.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET %s: %w", url, err), false
+	}
+	resp, err := f.http.Do(req)
+	if err != nil {
+		if isTimeout(err) {
+			f.timedOut.Add(1)
+		}
+		return nil, fmt.Errorf("client: GET %s: %w", url, err), true
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused, then classify:
+		// 5xx and 429 are origin trouble worth retrying, other statuses
+		// (404, 400, ...) are permanent.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		transient = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		return nil, fmt.Errorf("client: GET %s: %s", url, resp.Status), transient
+	}
+	limit := f.cfg.MaxResponseBytes
+	if limit > 0 && resp.ContentLength > limit {
+		return nil, fmt.Errorf("client: GET %s: advertised %d bytes exceeds %d-byte cap", url, resp.ContentLength, limit), false
+	}
+	var r io.Reader = resp.Body
+	if limit > 0 {
+		r = io.LimitReader(resp.Body, limit+1)
+	}
+	body, err = io.ReadAll(r)
+	if err != nil {
+		if isTimeout(err) {
+			f.timedOut.Add(1)
+		}
+		return nil, fmt.Errorf("client: GET %s: reading body: %w", url, err), true
+	}
+	if limit > 0 && int64(len(body)) > limit {
+		return nil, fmt.Errorf("client: GET %s: response exceeds %d-byte cap", url, limit), false
+	}
+	f.bytesFetched.Add(int64(len(body)))
+	return body, nil, false
+}
+
+// backoff sleeps the exponential-backoff delay for a retry attempt, with
+// up to 50% additive jitter so synchronized clients don't stampede a
+// recovering origin.
+func (f *Fetcher) backoff(attempt int) {
+	d := f.cfg.BackoffBase
+	if d <= 0 {
+		return
+	}
+	for i := 0; i < attempt && d < f.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if f.cfg.BackoffMax > 0 && d > f.cfg.BackoffMax {
+		d = f.cfg.BackoffMax
+	}
+	time.Sleep(d + time.Duration(rand.Int63n(int64(d)/2+1)))
+}
+
+// isTimeout reports whether an HTTP failure was a timeout.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

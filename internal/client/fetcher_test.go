@@ -1,0 +1,202 @@
+package client
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastFetchConfig returns a test-speed config: real retries and caps, but
+// millisecond backoff so fault tests stay quick.
+func fastFetchConfig() FetchConfig {
+	cfg := DefaultFetchConfig()
+	cfg.Timeout = 2 * time.Second
+	cfg.BackoffBase = time.Millisecond
+	cfg.BackoffMax = 4 * time.Millisecond
+	return cfg
+}
+
+func TestFetcherRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "origin hiccup", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "payload")
+	}))
+	defer ts.Close()
+
+	f := NewFetcher(fastFetchConfig(), nil)
+	body, err := f.get(ts.URL)
+	if err != nil {
+		t.Fatalf("get after transient failures: %v", err)
+	}
+	if string(body) != "payload" {
+		t.Fatalf("body = %q", body)
+	}
+	c := f.Counters()
+	if c.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", c.Retries)
+	}
+	if c.BytesFetched != int64(len("payload")) {
+		t.Errorf("BytesFetched = %d", c.BytesFetched)
+	}
+}
+
+func TestFetcherGivesUpAfterMaxRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	cfg := fastFetchConfig()
+	cfg.MaxRetries = 2
+	f := NewFetcher(cfg, nil)
+	if _, err := f.get(ts.URL); err == nil {
+		t.Fatal("permanently failing origin succeeded")
+	}
+	if got := calls.Load(); got != 3 { // 1 attempt + 2 retries
+		t.Errorf("origin saw %d attempts, want 3", got)
+	}
+	if c := f.Counters(); c.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", c.Retries)
+	}
+}
+
+func TestFetcherDoesNotRetryPermanentErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+
+	f := NewFetcher(fastFetchConfig(), nil)
+	if _, err := f.get(ts.URL); err == nil {
+		t.Fatal("404 did not error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("404 was attempted %d times, want 1", got)
+	}
+	if c := f.Counters(); c.Retries != 0 {
+		t.Errorf("Retries = %d, want 0", c.Retries)
+	}
+}
+
+func TestFetcherTimeoutFires(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+
+	cfg := fastFetchConfig()
+	cfg.Timeout = 30 * time.Millisecond
+	cfg.MaxRetries = 1
+	f := NewFetcher(cfg, nil)
+	start := time.Now()
+	_, err := f.get(ts.URL)
+	if err == nil {
+		t.Fatal("hung origin did not error")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("timeout took %v — per-request timeout not honored", elapsed)
+	}
+	c := f.Counters()
+	if c.TimedOut != 2 { // both attempts timed out
+		t.Errorf("TimedOut = %d, want 2", c.TimedOut)
+	}
+	if c.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", c.Retries)
+	}
+}
+
+func TestFetcherResponseSizeCap(t *testing.T) {
+	big := strings.Repeat("x", 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, big)
+	}))
+	defer ts.Close()
+
+	cfg := fastFetchConfig()
+	cfg.MaxResponseBytes = 100
+	f := NewFetcher(cfg, nil)
+	if _, err := f.get(ts.URL); err == nil {
+		t.Fatal("oversized response accepted")
+	}
+	if c := f.Counters(); c.Retries != 0 {
+		t.Errorf("oversize was retried %d times; it is permanent", c.Retries)
+	}
+
+	cfg.MaxResponseBytes = int64(len(big))
+	f = NewFetcher(cfg, nil)
+	if _, err := f.get(ts.URL); err != nil {
+		t.Fatalf("response exactly at cap rejected: %v", err)
+	}
+}
+
+// TestFetcherSingleflight issues many concurrent demands for the same
+// segment and checks the origin served exactly one download.
+func TestFetcherSingleflight(t *testing.T) {
+	ts, _ := startTestServer(t, "RS", 1)
+	var origRequests atomic.Int64
+	counting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.Contains(r.URL.Path, "/orig/") {
+			origRequests.Add(1)
+			time.Sleep(20 * time.Millisecond) // widen the race window
+		}
+		resp, err := http.Get(ts.URL + r.URL.Path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(resp.StatusCode)
+		if _, err := w.Write(body); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer counting.Close()
+
+	f := NewFetcher(fastFetchConfig(), nil)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = f.OrigSegment(counting.URL, "RS", 0)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent fetch %d: %v", i, err)
+		}
+	}
+	if got := origRequests.Load(); got != 1 {
+		t.Errorf("origin served %d downloads for one segment, want 1", got)
+	}
+	if c := f.Counters(); c.CacheHits != n-1 {
+		t.Errorf("CacheHits = %d, want %d (joiners + cache)", c.CacheHits, n-1)
+	}
+}

@@ -1,12 +1,9 @@
 package client
 
 import (
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 
-	"evr/internal/codec"
 	"evr/internal/frame"
 	"evr/internal/geom"
 	"evr/internal/hmd"
@@ -19,12 +16,20 @@ import (
 // Player is the pixel-exact EVR playback client: it speaks the server's
 // HTTP protocol, decodes real bitstreams, runs the FOV checker on every
 // frame, and renders misses through the PTE (or the reference float
-// pipeline when HAR is disabled). It is the integration-level counterpart
-// of the behavioral Simulate path.
+// pipeline when HAR is disabled). All network traffic flows through the
+// fetch layer (Fetcher): per-request timeouts, bounded retries, a decoded
+// segment cache, and next-segment prefetching. It is the integration-level
+// counterpart of the behavioral Simulate path.
 type Player struct {
 	BaseURL string
-	HTTP    *http.Client
-	HMD     hmd.Config
+	// HTTP optionally overrides the transport. nil (the default from
+	// NewPlayer) means a timeout-bearing client built from Fetch.Timeout;
+	// the per-attempt timeout applies either way.
+	HTTP *http.Client
+	// Fetch tunes the fetch layer (timeout, retries, cache, prefetch).
+	// Changes take effect until the first Play constructs the fetcher.
+	Fetch FetchConfig
+	HMD   hmd.Config
 	// UseHAR renders fallback frames on the PTE accelerator; otherwise the
 	// reference (GPU-style) float pipeline is used.
 	UseHAR bool
@@ -40,37 +45,72 @@ type Player struct {
 	// (0 = one worker per PTU on the PTE path, GOMAXPROCS on the reference
 	// path). Output is byte-identical for every worker count.
 	Workers int
+
+	fetcher *Fetcher
 }
 
-// PlaybackStats summarizes one playback run.
+// PlaybackStats summarizes one playback run. Every displayed frame is
+// either a Hit (shown directly from a FOV video) or a Miss (needed the
+// original stream — FOV checker miss, segment-level fallback, or frozen
+// frame), so Hits+Misses == Frames always holds.
 type PlaybackStats struct {
 	Frames        int
 	Hits          int
 	Misses        int
-	Fallbacks     int // segments that fell back to the original stream
-	BytesFetched  int64
+	Fallbacks     int   // segments that fell back to the original stream
+	BytesFetched  int64 // bytes received over the wire (cache hits fetch nothing)
 	PTEFrames     int
 	PayloadErrors int // corrupt/missing payloads survived (Resilient mode)
 	FrozenFrames  int // frames repeated because no content was decodable
+
+	// Fetch-layer counters for this run.
+	CacheHits    int // demand fetches served from cache or in-flight dedup
+	PrefetchHits int // subset of CacheHits filled by the prefetcher
+	Retries      int // retried HTTP attempts
+	TimedOut     int // HTTP attempts cut off by the per-request timeout
 }
 
-// NewPlayer returns a player against an EVR server base URL.
+// NewPlayer returns a player against an EVR server base URL, with the
+// default fetch layer: timeout-bearing HTTP client, retries with backoff,
+// decoded-segment cache, and next-segment prefetching.
 func NewPlayer(baseURL string) *Player {
 	return &Player{
 		BaseURL:       baseURL,
-		HTTP:          http.DefaultClient,
+		Fetch:         DefaultFetchConfig(),
 		HMD:           hmd.OSVRHDK2(),
 		UseHAR:        true,
 		ViewportScale: 40,
 	}
 }
 
+// Fetcher returns the player's fetch layer, constructing it on first use
+// from the Fetch config and the optional HTTP override.
+func (p *Player) Fetcher() *Fetcher {
+	if p.fetcher == nil {
+		p.fetcher = NewFetcher(p.Fetch, p.HTTP)
+	}
+	return p.fetcher
+}
+
 // Play streams a video while replaying head movement from the IMU and
 // returns the playback statistics together with the displayed frames.
 // maxSegments bounds the run (0 = all ingested segments).
-func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (PlaybackStats, []*frame.Frame, error) {
-	var stats PlaybackStats
-	man, err := p.fetchManifest(video)
+func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats PlaybackStats, displayed []*frame.Frame, err error) {
+	ftch := p.Fetcher()
+	before := ftch.Counters()
+	defer func() {
+		// Let in-flight prefetches land before accounting so BytesFetched
+		// is stable run to run.
+		ftch.Wait()
+		after := ftch.Counters()
+		stats.BytesFetched = after.BytesFetched - before.BytesFetched
+		stats.CacheHits = int(after.CacheHits - before.CacheHits)
+		stats.PrefetchHits = int(after.PrefetchHits - before.PrefetchHits)
+		stats.Retries = int(after.Retries - before.Retries)
+		stats.TimedOut = int(after.TimedOut - before.TimedOut)
+	}()
+
+	man, err := ftch.Manifest(p.BaseURL, video)
 	if err != nil {
 		return stats, nil, err
 	}
@@ -94,35 +134,38 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (PlaybackStat
 		return stats, nil, err
 	}
 
-	var displayed []*frame.Frame
 	frameIdx := 0
-	for _, seg := range man.Segments {
+	for si, seg := range man.Segments {
 		if maxSegments > 0 && seg.Index >= maxSegments {
 			break
 		}
 		if imu.Frames() <= frameIdx {
 			break
 		}
+		gaze := imu.At(frameIdx)
 		// Choose the FOV video whose first-frame metadata is nearest to
 		// the current gaze (§5.3).
-		choice := -1
-		bestAng := tolerance * 4
-		gaze := imu.At(frameIdx)
-		for _, cl := range seg.Clusters {
-			if len(cl.Meta) == 0 {
-				continue
-			}
-			o := geom.Orientation{Yaw: cl.Meta[0].Yaw, Pitch: cl.Meta[0].Pitch}
-			if ang := gaze.AngularDistance(o); ang < bestAng {
-				bestAng = ang
-				choice = cl.ID
+		choice := bestCluster(&seg, gaze, tolerance)
+
+		// While this segment plays, warm the cache with the next segment's
+		// best-guess FOV video and its original-segment fallback, so the
+		// segment-boundary fetch — and a mid-segment FOV miss there —
+		// find decoded frames waiting (§5.3 latency hiding). The fetcher
+		// deduplicates against the demand fetches below via singleflight.
+		if si+1 < len(man.Segments) {
+			next := man.Segments[si+1]
+			if !(maxSegments > 0 && next.Index >= maxSegments) {
+				if nc := bestCluster(&next, gaze, tolerance); nc >= 0 {
+					ftch.PrefetchFOV(p.BaseURL, video, next.Index, nc)
+				}
+				ftch.PrefetchOrig(p.BaseURL, video, next.Index)
 			}
 		}
 
 		var fovFrames []*frame.Frame
 		var fovMeta []server.FrameMeta
 		if choice >= 0 {
-			fovFrames, fovMeta, err = p.fetchFOV(video, seg.Index, choice, &stats)
+			fovFrames, fovMeta, err = ftch.FOVSegment(p.BaseURL, video, seg.Index, choice)
 			if err != nil {
 				if !p.Resilient {
 					return stats, nil, err
@@ -135,7 +178,7 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (PlaybackStat
 		var origFrames []*frame.Frame // decoded lazily on fallback
 		fallback := choice < 0
 		if fallback {
-			origFrames, err = p.fetchOrig(video, seg.Index, &stats)
+			origFrames, err = ftch.OrigSegment(p.BaseURL, video, seg.Index)
 			if err != nil {
 				if !p.Resilient {
 					return stats, nil, err
@@ -155,7 +198,7 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (PlaybackStat
 			}
 			if !fallback && !hit {
 				// FOV miss: request the original segment (§5.4).
-				origFrames, err = p.fetchOrig(video, seg.Index, &stats)
+				origFrames, err = ftch.OrigSegment(p.BaseURL, video, seg.Index)
 				if err != nil {
 					if !p.Resilient {
 						return stats, nil, err
@@ -165,9 +208,12 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (PlaybackStat
 				}
 				fallback = true
 				stats.Fallbacks++
-				stats.Misses++
-			} else if !fallback {
+			}
+			// Every frame is a hit or a miss: Hits+Misses == Frames.
+			if hit {
 				stats.Hits++
+			} else {
+				stats.Misses++
 			}
 			var out *frame.Frame
 			if !fallback {
@@ -201,6 +247,24 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (PlaybackStat
 	return stats, displayed, nil
 }
 
+// bestCluster returns the ID of the segment's FOV video whose first-frame
+// orientation is nearest the gaze, or -1 when none is close enough.
+func bestCluster(seg *server.SegmentInfo, gaze geom.Orientation, tolerance float64) int {
+	choice := -1
+	bestAng := tolerance * 4
+	for _, cl := range seg.Clusters {
+		if len(cl.Meta) == 0 {
+			continue
+		}
+		o := geom.Orientation{Yaw: cl.Meta[0].Yaw, Pitch: cl.Meta[0].Pitch}
+		if ang := gaze.AngularDistance(o); ang < bestAng {
+			bestAng = ang
+			choice = cl.ID
+		}
+	}
+	return choice
+}
+
 // cropToViewport extracts the central fracX×fracY region of a FOV frame and
 // bilinearly scales it to the display viewport.
 func cropToViewport(fov *frame.Frame, vp projection.Viewport, fracX, fracY float64) *frame.Frame {
@@ -218,67 +282,4 @@ func cropToViewport(fov *frame.Frame, vp projection.Viewport, fracX, fracY float
 		}
 	}
 	return out
-}
-
-func (p *Player) fetchManifest(video string) (*server.Manifest, error) {
-	body, err := p.get(fmt.Sprintf("%s/v/%s/manifest", p.BaseURL, video))
-	if err != nil {
-		return nil, err
-	}
-	var man server.Manifest
-	if err := json.Unmarshal(body, &man); err != nil {
-		return nil, fmt.Errorf("client: parsing manifest: %w", err)
-	}
-	return &man, nil
-}
-
-func (p *Player) fetchFOV(video string, seg, cluster int, stats *PlaybackStats) ([]*frame.Frame, []server.FrameMeta, error) {
-	payload, err := p.get(fmt.Sprintf("%s/v/%s/fov/%d/%d", p.BaseURL, video, seg, cluster))
-	if err != nil {
-		return nil, nil, err
-	}
-	stats.BytesFetched += int64(len(payload))
-	bits, err := server.UnmarshalBitstream(payload)
-	if err != nil {
-		return nil, nil, err
-	}
-	frames, err := codec.DecodeSequence(bits)
-	if err != nil {
-		return nil, nil, err
-	}
-	metaRaw, err := p.get(fmt.Sprintf("%s/v/%s/fovmeta/%d/%d", p.BaseURL, video, seg, cluster))
-	if err != nil {
-		return nil, nil, err
-	}
-	stats.BytesFetched += int64(len(metaRaw))
-	var meta []server.FrameMeta
-	if err := json.Unmarshal(metaRaw, &meta); err != nil {
-		return nil, nil, fmt.Errorf("client: parsing FOV metadata: %w", err)
-	}
-	return frames, meta, nil
-}
-
-func (p *Player) fetchOrig(video string, seg int, stats *PlaybackStats) ([]*frame.Frame, error) {
-	payload, err := p.get(fmt.Sprintf("%s/v/%s/orig/%d", p.BaseURL, video, seg))
-	if err != nil {
-		return nil, err
-	}
-	stats.BytesFetched += int64(len(payload))
-	bits, err := server.UnmarshalBitstream(payload)
-	if err != nil {
-		return nil, err
-	}
-	return codec.DecodeSequence(bits)
-}
-
-func (p *Player) get(url string) ([]byte, error) {
-	resp, err := p.HTTP.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("client: GET %s: %s", url, resp.Status)
-	}
-	return io.ReadAll(resp.Body)
 }

@@ -77,10 +77,12 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.metrics.serveMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, map[string]any{"ok": true, "videos": len(s.Videos())})
+		writeJSON(w, map[string]any{"ok": true, "videos": len(s.Videos())}) //nolint:errcheck // no endpoint counter for healthz
 	})
 	mux.HandleFunc("GET /videos", s.metrics.instrument("videos", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Videos())
+		if err := writeJSON(w, s.Videos()); err != nil {
+			s.metrics.noteWriteError("videos")
+		}
 	}))
 	mux.HandleFunc("GET /v/{video}/manifest", s.metrics.instrument("manifest", func(w http.ResponseWriter, r *http.Request) {
 		man, ok := s.Manifest(r.PathValue("video"))
@@ -88,7 +90,9 @@ func (s *Service) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		writeJSON(w, man)
+		if err := writeJSON(w, man); err != nil {
+			s.metrics.noteWriteError("manifest")
+		}
 	}))
 	mux.HandleFunc("GET /v/{video}/orig/{seg}", s.metrics.instrument("orig", func(w http.ResponseWriter, r *http.Request) {
 		seg, err := strconv.Atoi(r.PathValue("seg"))
@@ -102,7 +106,12 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(data)
+		if _, err := w.Write(data); err != nil {
+			// Nothing to send the client anymore, but a half-delivered
+			// segment is exactly what the fetch layer's retries mask —
+			// surface it in the metrics instead of dropping it.
+			s.metrics.noteWriteError("orig")
+		}
 	}))
 	mux.HandleFunc("GET /v/{video}/fov/{seg}/{cluster}", s.metrics.instrument("fov", func(w http.ResponseWriter, r *http.Request) {
 		seg, err1 := strconv.Atoi(r.PathValue("seg"))
@@ -117,7 +126,9 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(data)
+		if _, err := w.Write(data); err != nil {
+			s.metrics.noteWriteError("fov")
+		}
 	}))
 	mux.HandleFunc("GET /v/{video}/fovmeta/{seg}/{cluster}", s.metrics.instrument("fovmeta", func(w http.ResponseWriter, r *http.Request) {
 		seg, err1 := strconv.Atoi(r.PathValue("seg"))
@@ -132,14 +143,25 @@ func (s *Service) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(meta)
+		if _, err := w.Write(meta); err != nil {
+			s.metrics.noteWriteError("fovmeta")
+		}
 	}))
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+// writeJSON encodes to a buffer before touching the ResponseWriter: an
+// encode failure must produce a clean 500, not a 200 header followed by a
+// truncated body with an error message spliced into it. It returns the
+// write error (the client hung up mid-response) for callers that track it.
+func writeJSON(w http.ResponseWriter, v any) error {
+	buf, err := json.Marshal(v)
+	if err != nil {
 		http.Error(w, fmt.Sprintf("encoding response: %v", err), http.StatusInternalServerError)
+		return nil
 	}
+	w.Header().Set("Content-Type", "application/json")
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
 }

@@ -18,11 +18,12 @@ type Metrics struct {
 
 // endpointStats aggregates one endpoint class.
 type endpointStats struct {
-	Requests int64   `json:"requests"`
-	Errors   int64   `json:"errors"` // non-2xx responses
-	Bytes    int64   `json:"bytes"`
-	TotalMs  float64 `json:"totalMs"`
-	MaxMs    float64 `json:"maxMs"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`      // non-2xx responses
+	WriteErrors int64   `json:"writeErrors"` // responses the client stopped reading mid-body
+	Bytes       int64   `json:"bytes"`
+	TotalMs     float64 `json:"totalMs"`
+	MaxMs       float64 `json:"maxMs"`
 }
 
 // MetricsSnapshot is the JSON shape served at /metrics.
@@ -55,6 +56,18 @@ func (m *Metrics) observe(endpoint string, status int, bytes int64, d time.Durat
 	if ms > s.MaxMs {
 		s.MaxMs = ms
 	}
+}
+
+// noteWriteError records a response-body write failure on an endpoint.
+func (m *Metrics) noteWriteError(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.counters[endpoint]
+	if !ok {
+		s = &endpointStats{}
+		m.counters[endpoint] = s
+	}
+	s.WriteErrors++
 }
 
 // Snapshot copies the current counters.

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -236,5 +237,31 @@ func TestUnmarshalBitstreamFuzz(t *testing.T) {
 			}()
 			UnmarshalBitstream(data)
 		}()
+	}
+}
+
+// TestWriteJSONEncodeFailureIsCleanError feeds writeJSON a value the JSON
+// encoder rejects. The regression: the old implementation streamed the
+// encoder straight into the ResponseWriter, so an encode failure arrived
+// as a 200 with a corrupt mixed body. It must now be a clean 500.
+func TestWriteJSONEncodeFailureIsCleanError(t *testing.T) {
+	rec := httptest.NewRecorder()
+	if err := writeJSON(rec, math.NaN()); err != nil {
+		t.Fatalf("writeJSON returned transport error: %v", err)
+	}
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); json.Valid([]byte(body)) && len(body) > 0 {
+		t.Fatalf("error response looks like a JSON payload: %q", body)
+	}
+
+	// Healthy values still round-trip.
+	rec = httptest.NewRecorder()
+	if err := writeJSON(rec, map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusOK || !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("healthy writeJSON: status %d body %q", rec.Code, rec.Body.String())
 	}
 }

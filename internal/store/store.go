@@ -179,6 +179,16 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	return written, nil
 }
 
+const (
+	// maxSnapshotChunk bounds a single (key, data, or meta) chunk in a
+	// snapshot. The largest legitimate objects are encoded video segments,
+	// orders of magnitude below this.
+	maxSnapshotChunk = 1 << 30 // 1 GiB
+	// snapshotReadStep is the incremental allocation granularity while
+	// replaying an untrusted length prefix.
+	snapshotReadStep = 1 << 20 // 1 MiB
+)
+
 // ReadFrom replays a snapshot produced by WriteTo into the store (existing
 // keys are overwritten — replay is idempotent).
 func (s *Store) ReadFrom(r io.Reader) (int64, error) {
@@ -200,13 +210,30 @@ func (s *Store) ReadFrom(r io.Reader) (int64, error) {
 			return nil, err
 		}
 		l := binary.LittleEndian.Uint64(lenBuf[:])
-		if l > 1<<32 {
-			return nil, fmt.Errorf("store: implausible chunk length %d", l)
+		if l > maxSnapshotChunk {
+			return nil, fmt.Errorf("store: implausible chunk length %d (cap %d)", l, maxSnapshotChunk)
 		}
-		b := make([]byte, l)
-		n, err = io.ReadFull(r, b)
-		read += int64(n)
-		return b, err
+		// Grow the buffer only as bytes actually arrive: the length prefix
+		// is untrusted input, and a tiny truncated snapshot claiming a
+		// huge chunk must fail with a read error, not allocate the claim.
+		var b []byte
+		for uint64(len(b)) < l {
+			step := l - uint64(len(b))
+			if step > snapshotReadStep {
+				step = snapshotReadStep
+			}
+			start := len(b)
+			b = append(b, make([]byte, step)...)
+			n, err = io.ReadFull(r, b[start:])
+			read += int64(n)
+			if err != nil {
+				if err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return nil, err
+			}
+		}
+		return b, nil
 	}
 	for {
 		key, err := readChunk()

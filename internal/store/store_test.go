@@ -2,8 +2,10 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -225,5 +227,59 @@ func TestMetaBytesTracked(t *testing.T) {
 	s.Put("a", []byte("xx"), []byte("metadata"))
 	if s.MetaBytes() != 8 {
 		t.Errorf("meta bytes = %d", s.MetaBytes())
+	}
+}
+
+// TestReadFromMaliciousLengthPrefix feeds snapshots whose length prefixes
+// claim far more data than the input carries. Replay must fail fast with a
+// bounded allocation — the regression here was a 12-byte snapshot forcing
+// a multi-GiB make([]byte, l) before any data was read.
+func TestReadFromMaliciousLengthPrefix(t *testing.T) {
+	snapshot := func(claim uint64, payload []byte) []byte {
+		var buf bytes.Buffer
+		buf.Write(magic[:])
+		var lenBuf [8]byte
+		binary.LittleEndian.PutUint64(lenBuf[:], claim)
+		buf.Write(lenBuf[:])
+		buf.Write(payload)
+		return buf.Bytes()
+	}
+
+	// Claim over the hard cap: rejected outright.
+	if _, err := New().ReadFrom(bytes.NewReader(snapshot(1<<40, nil))); err == nil {
+		t.Error("chunk length above cap accepted")
+	}
+
+	// Claim under the cap but with (almost) no payload behind it: must
+	// error on truncation without allocating the 512 MiB claim. The
+	// allocation bound is snapshotReadStep plus append's growth slack.
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, err := New().ReadFrom(bytes.NewReader(snapshot(512<<20, []byte("tiny"))))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatal("truncated oversized claim accepted")
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 8<<20 {
+		t.Errorf("replaying a truncated 512 MiB claim allocated %d bytes", grew)
+	}
+
+	// A legitimate snapshot still replays after the hardening.
+	src := New()
+	if err := src.Put("k", bytes.Repeat([]byte{7}, 3*int(snapshotReadStep)/2), []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := src.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := New()
+	if _, err := dst.ReadFrom(&buf); err != nil {
+		t.Fatalf("round trip after hardening: %v", err)
+	}
+	d, _, ok := dst.Get("k")
+	if !ok || len(d) != 3*int(snapshotReadStep)/2 {
+		t.Fatalf("replayed data wrong: ok=%v len=%d", ok, len(d))
 	}
 }
