@@ -1,10 +1,15 @@
 #!/bin/sh
-# CI gate: vet, build, and run the full test suite under the race detector.
-# The parallel render engine (pt.RenderParallel, pte.RenderParallel, server
-# ingest fan-out) and the client fetch layer (prefetcher + singleflight +
-# LRU cache) must stay race-clean; every PR runs this before merge.
+# CI gate: format check, vet, build, and run the full test suite under the
+# race detector. The parallel render engine (pt.RenderParallel,
+# pte.RenderParallel, server ingest fan-out), the client fetch layer
+# (prefetcher + singleflight + LRU cache), and the telemetry subsystem
+# (registry/histogram/tracer) must stay race-clean; every PR runs this
+# before merge. The benchmark smoke run keeps the telemetry disabled-path
+# overhead benchmarks compiling and executable without timing them.
 set -eux
 
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test -race ./...
+go test ./internal/telemetry -run=NONE -bench=TelemetryOverhead -benchtime=1x

@@ -10,20 +10,28 @@
 // population (default 59, the full corpus; smaller is faster). -workers
 // sizes the worker pool of the parallel PT render paths (0 = GOMAXPROCS);
 // every table is byte-identical regardless of the worker count.
+// -telemetry observes every row band the parallel PT renderer executes and
+// prints the band-duration distribution afterwards — the p50-vs-max spread
+// is the worker-pool skew.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"evr/internal/experiments"
+	"evr/internal/frame"
+	"evr/internal/geom"
 	"evr/internal/headtrace"
+	"evr/internal/projection"
 	"evr/internal/pt"
+	"evr/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +41,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	mdPath := flag.String("md", "", "also write a full markdown report to this file")
 	workers := flag.Int("workers", 0, "render worker pool size for parallel PT paths (0 = GOMAXPROCS; results are byte-identical for any value)")
+	useTelemetry := flag.Bool("telemetry", false, "record per-band render timings and print the worker-pool skew report")
 	flag.Parse()
 	if *users < 1 {
 		fmt.Fprintln(os.Stderr, "evrbench: -users must be ≥ 1")
@@ -43,6 +52,12 @@ func main() {
 		os.Exit(2)
 	}
 	pt.SetDefaultWorkers(*workers)
+	var bands *telemetry.Histogram
+	if *useTelemetry {
+		bands = telemetry.NewHistogram(telemetry.DefaultStageBuckets())
+		pt.SetBandObserver(bands)
+		defer pt.SetBandObserver(nil)
+	}
 	start := time.Now()
 	tables := experiments.All(*users)
 	lowFig := strings.ToLower(*fig)
@@ -84,6 +99,59 @@ func main() {
 		fmt.Printf("wrote markdown report %s\n", *mdPath)
 	}
 	fmt.Printf("regenerated in %v with %d users/video\n", time.Since(start).Round(time.Millisecond), *users)
+	if bands != nil {
+		profileRenderBands(*workers)
+		printBandSkew(bands)
+	}
+}
+
+// profileRenderBands drives the parallel PT renderer over a yaw sweep of a
+// synthetic panorama so the band observer sees a realistic worker-pool
+// workload even though the paper tables use the serial reference renderer.
+// The sweep crosses the ERP seam and both poles, the two sources of
+// per-row cost imbalance.
+func profileRenderBands(workers int) {
+	full := frame.New(192, 96)
+	for y := 0; y < full.H; y++ {
+		for x := 0; x < full.W; x++ {
+			full.Set(x, y, byte(x*255/full.W), byte(y*255/full.H), byte((x+y)%256))
+		}
+	}
+	cfg := pt.Config{
+		Projection: projection.ERP,
+		Filter:     pt.Bilinear,
+		Viewport:   projection.Viewport{Width: 160, Height: 160, FOVX: math.Pi / 2, FOVY: math.Pi / 2},
+	}
+	for i := 0; i < 24; i++ {
+		o := geom.Orientation{
+			Yaw:   2 * math.Pi * float64(i) / 24,
+			Pitch: 1.2 * math.Sin(2*math.Pi*float64(i)/24),
+		}
+		pt.Recycle(pt.RenderParallel(cfg, full, o, workers))
+	}
+}
+
+// printBandSkew summarizes the per-band render-duration distribution from
+// pt.RenderParallel. Bands hold near-equal row counts, so max/p50 ≫ 1
+// means uneven per-row work or scheduler preemption — the worker-pool skew
+// that caps parallel speedup.
+func printBandSkew(h *telemetry.Histogram) {
+	s := h.Snapshot()
+	if s.Count == 0 {
+		fmt.Println("render-band telemetry: no parallel PT bands executed")
+		return
+	}
+	p50, p95, p99 := s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99)
+	fmt.Printf("render-band telemetry: %d bands, p50 %v, p95 %v, p99 %v, max %v",
+		s.Count, secs(p50), secs(p95), secs(p99), secs(s.Max))
+	if p50 > 0 {
+		fmt.Printf(", skew (max/p50) %.2fx", s.Max/p50)
+	}
+	fmt.Println()
+}
+
+func secs(v float64) time.Duration {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond)
 }
 
 // writeCSV writes one table into dir/<stem>.csv.

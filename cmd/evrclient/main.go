@@ -1,25 +1,31 @@
 // Command evrclient plays a video from an EVR server, replaying a synthetic
 // user's head trace, and reports the playback statistics: FOV hits, misses,
 // fallbacks, fetched bytes, PTE-rendered frames, and the fetch layer's
-// cache/retry/timeout counters.
+// cache/retry/timeout counters. With -telemetry it also prints the
+// per-stage pipeline breakdown (fetch, decode, FOV check, render, display)
+// with p50/p95/p99 latencies from the per-frame tracer.
 //
 // Usage:
 //
 //	evrclient [-url http://localhost:8090] [-video RS] [-user 0] [-segments 4]
 //	          [-har] [-resilient] [-timeout 10s] [-retries 3]
 //	          [-cache 8] [-prefetch] [-max-response 67108864]
+//	          [-telemetry] [-pprof localhost:6061]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
 	"time"
 
 	"evr/internal/client"
 	"evr/internal/headtrace"
 	"evr/internal/hmd"
 	"evr/internal/scene"
+	"evr/internal/telemetry"
 )
 
 func main() {
@@ -34,13 +40,25 @@ func main() {
 	cache := flag.Int("cache", client.DefaultFetchConfig().CacheSegments, "decoded-segment LRU cache capacity (0 = off)")
 	prefetch := flag.Bool("prefetch", true, "prefetch the next segment's FOV video and fallback in the background")
 	maxResponse := flag.Int64("max-response", client.DefaultFetchConfig().MaxResponseBytes, "response size cap in bytes (0 = unlimited)")
+	useTelemetry := flag.Bool("telemetry", false, "trace per-frame pipeline stages and print the breakdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("pprof server exited: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	v, ok := scene.ByName(*video)
 	if !ok {
 		log.Fatalf("unknown video %q", *video)
 	}
 	p := client.NewPlayer(*url)
+	if *useTelemetry {
+		p.Trace = telemetry.NewTracer(0)
+	}
 	p.UseHAR = *har
 	p.Resilient = *resilient
 	p.Fetch.Timeout = *timeout
@@ -71,6 +89,26 @@ func main() {
 		fmt.Printf("  payload errors: %d (%d frozen frames)\n", stats.PayloadErrors, stats.FrozenFrames)
 	}
 	fmt.Printf("  wall time:      %v\n", elapsed.Round(time.Millisecond))
+	if p.Trace != nil {
+		printStageBreakdown(p.Trace)
+	}
+}
+
+// printStageBreakdown renders the tracer's per-stage summary: how the
+// pipeline's time splits across fetch/decode/FOV check/render/display,
+// with tail latencies. Fetch and decode include the prefetcher's hidden
+// background work; the other stages are per displayed frame.
+func printStageBreakdown(tr *telemetry.Tracer) {
+	fmt.Printf("\nstage breakdown (%d frames traced; fetch/decode include prefetch work):\n", tr.Frames())
+	fmt.Printf("  %-9s %7s %12s %10s %10s %10s %10s %10s\n",
+		"stage", "count", "total", "mean", "p50", "p95", "p99", "max")
+	for _, s := range tr.Summary() {
+		fmt.Printf("  %-9s %7d %12v %10v %10v %10v %10v %10v\n",
+			s.Stage, s.Count, s.Total.Round(time.Microsecond),
+			s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+			s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+			s.Max.Round(time.Microsecond))
+	}
 }
 
 func max(a, b int) int {

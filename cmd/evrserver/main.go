@@ -5,9 +5,12 @@
 // Usage:
 //
 //	evrserver [-addr :8090] [-videos RS,Timelapse] [-segments 4] [-width 192]
+//	          [-pprof localhost:6060]
 //
 // Endpoints: /videos, /v/{video}/manifest, /v/{video}/orig/{seg},
-// /v/{video}/fov/{seg}/{cluster}, /v/{video}/fovmeta/{seg}/{cluster}.
+// /v/{video}/fov/{seg}/{cluster}, /v/{video}/fovmeta/{seg}/{cluster}, and
+// /metrics (JSON; ?format=prom for Prometheus text exposition). -pprof
+// serves net/http/pprof profiles on a separate listener.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served via -pprof
 	"os"
 	"strings"
 	"time"
@@ -31,7 +35,15 @@ func main() {
 	live := flag.Bool("live", false, "live-streaming mode: no ingest analysis, no FOV videos (§8.3)")
 	width := flag.Int("width", 192, "panoramic ingest width (height = width/2)")
 	snapshot := flag.String("snapshot", "", "persist the SAS store to this file (loaded on start, saved after ingest)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			log.Printf("pprof server exited: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	cfg := server.DefaultIngestConfig()
 	cfg.FullW = *width - *width%8

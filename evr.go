@@ -37,6 +37,7 @@ import (
 	"evr/internal/scene"
 	"evr/internal/server"
 	"evr/internal/store"
+	"evr/internal/telemetry"
 )
 
 // System orchestration.
@@ -141,6 +142,25 @@ func DefaultIngestConfig() IngestConfig { return server.DefaultIngestConfig() }
 
 // NewPlayer returns a playback client for an EVR server URL.
 func NewPlayer(baseURL string) *Player { return client.NewPlayer(baseURL) }
+
+// Telemetry: the shared observability core (see internal/telemetry).
+type (
+	// Tracer records per-frame pipeline-stage timings; assign one to
+	// Player.Trace to trace playback (nil = tracing off, near-zero cost).
+	Tracer = telemetry.Tracer
+	// StageSummary is one pipeline stage's aggregate timing report.
+	StageSummary = telemetry.StageSummary
+	// MetricsRegistry is a named-metric registry (counters, gauges,
+	// histograms) with Prometheus text exposition.
+	MetricsRegistry = telemetry.Registry
+)
+
+// NewTracer returns a pipeline tracer keeping the last `recent` per-frame
+// traces (<= 0 uses the default ring size).
+func NewTracer(recent int) *Tracer { return telemetry.NewTracer(recent) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // Quality assessment (§8.6).
 type (

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"evr"
@@ -51,9 +53,11 @@ func main() {
 	url := "http://" + ln.Addr().String()
 	fmt.Printf("server listening on %s\n", url)
 
-	// --- Client side: replay three users. ---
+	// --- Client side: replay three users, tracing the pipeline stages. ---
+	tracer := evr.NewTracer(0)
 	for user := 0; user < 3; user++ {
 		p := evr.NewPlayer(url)
+		p.Trace = tracer // shared across users: one aggregate stage view
 		imu := evr.NewIMU(evr.GenerateTrace(video, user))
 		stats, frames, err := p.Play(video.Name, imu, 3)
 		if err != nil {
@@ -63,4 +67,30 @@ func main() {
 			user, len(frames), stats.Hits, stats.Misses, stats.Fallbacks, stats.PTEFrames, stats.BytesFetched>>10)
 	}
 	fmt.Println("every displayed frame flowed through the real codec + FOV checker + PTE pipeline")
+
+	// The telemetry view of the same run: where per-frame time actually
+	// went, with tail latencies (fetch/decode include prefetch work).
+	fmt.Printf("pipeline stages across %d traced frames:\n", tracer.Frames())
+	for _, s := range tracer.Summary() {
+		fmt.Printf("  %-9s ×%-4d mean %9v  p95 %9v  max %9v\n",
+			s.Stage, s.Count, s.Mean.Round(time.Microsecond),
+			s.P95.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+
+	// And the server's own view, as Prometheus text (scrape-ready at
+	// /metrics?format=prom; /metrics stays JSON with p50/p95/p99 fields).
+	resp, err := http.Get(url + "/metrics?format=prom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	shown := 0
+	for sc.Scan() && shown < 4 {
+		line := sc.Text()
+		if strings.HasPrefix(line, "evr_http_requests_total") {
+			fmt.Printf("server: %s\n", line)
+			shown++
+		}
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"evr/internal/codec"
 	"evr/internal/frame"
 	"evr/internal/server"
+	"evr/internal/telemetry"
 )
 
 // FetchConfig tunes the client fetch layer: transport robustness (timeout,
@@ -46,6 +47,12 @@ type FetchConfig struct {
 	// best-guess FOV video and its original-segment fallback while the
 	// current segment is displayed (§5.3's latency-hiding counterpart).
 	Prefetch bool
+	// Trace, when non-nil, receives StageFetch (network transfer) and
+	// StageDecode (unmarshal + video decode) observations for every
+	// segment load — demand and prefetch alike, so hidden prefetch work is
+	// visible too. Cache hits observe nothing: no work was done. nil
+	// disables stage timing at a cost of a few nanoseconds per load.
+	Trace *telemetry.Tracer
 }
 
 // DefaultFetchConfig returns the production defaults: 10 s per-attempt
@@ -260,11 +267,7 @@ func (f *Fetcher) loadFOV(baseURL, video string, seg, cluster int) (segmentEntry
 	if err != nil {
 		return segmentEntry{}, err
 	}
-	bits, err := server.UnmarshalBitstream(payload)
-	if err != nil {
-		return segmentEntry{}, err
-	}
-	frames, err := codec.DecodeSequence(bits)
+	frames, err := f.decodePayload(payload)
 	if err != nil {
 		return segmentEntry{}, err
 	}
@@ -272,8 +275,11 @@ func (f *Fetcher) loadFOV(baseURL, video string, seg, cluster int) (segmentEntry
 	if err != nil {
 		return segmentEntry{}, err
 	}
+	tm := f.cfg.Trace.StartTimer(telemetry.StageDecode)
 	var meta []server.FrameMeta
-	if err := json.Unmarshal(metaRaw, &meta); err != nil {
+	err = json.Unmarshal(metaRaw, &meta)
+	tm.Stop()
+	if err != nil {
 		return segmentEntry{}, fmt.Errorf("client: parsing FOV metadata: %w", err)
 	}
 	return segmentEntry{frames: frames, meta: meta}, nil
@@ -285,11 +291,23 @@ func (f *Fetcher) loadOrig(baseURL, video string, seg int) (segmentEntry, error)
 	if err != nil {
 		return segmentEntry{}, err
 	}
+	return f.decodePayloadEntry(payload)
+}
+
+// decodePayload unmarshals and decodes one bitstream payload, timed as the
+// decode stage.
+func (f *Fetcher) decodePayload(payload []byte) ([]*frame.Frame, error) {
+	tm := f.cfg.Trace.StartTimer(telemetry.StageDecode)
+	defer tm.Stop()
 	bits, err := server.UnmarshalBitstream(payload)
 	if err != nil {
-		return segmentEntry{}, err
+		return nil, err
 	}
-	frames, err := codec.DecodeSequence(bits)
+	return codec.DecodeSequence(bits)
+}
+
+func (f *Fetcher) decodePayloadEntry(payload []byte) (segmentEntry, error) {
+	frames, err := f.decodePayload(payload)
 	if err != nil {
 		return segmentEntry{}, err
 	}
@@ -298,8 +316,11 @@ func (f *Fetcher) loadOrig(baseURL, video string, seg int) (segmentEntry, error)
 
 // get performs one HTTP GET with per-attempt timeout, bounded retries with
 // exponential backoff + jitter on transient failures, and the response
-// size cap.
+// size cap. The whole call — retries and backoff included — is observed as
+// the fetch stage: it is the transfer wait the pipeline actually sees.
 func (f *Fetcher) get(url string) ([]byte, error) {
+	tm := f.cfg.Trace.StartTimer(telemetry.StageFetch)
+	defer tm.Stop()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		body, err, transient := f.attempt(url)

@@ -11,6 +11,7 @@ import (
 	"evr/internal/pt"
 	"evr/internal/pte"
 	"evr/internal/server"
+	"evr/internal/telemetry"
 )
 
 // Player is the pixel-exact EVR playback client: it speaks the server's
@@ -45,6 +46,12 @@ type Player struct {
 	// (0 = one worker per PTU on the PTE path, GOMAXPROCS on the reference
 	// path). Output is byte-identical for every worker count.
 	Workers int
+	// Trace, when non-nil, records per-frame pipeline-stage timings
+	// (fetch, decode, FOV check, render, display) for this player and its
+	// fetch layer. nil (the default) disables tracing at a cost of a few
+	// nanoseconds per frame; pixels and playback accounting are identical
+	// either way. Set it before the first Play, which wires the fetcher.
+	Trace *telemetry.Tracer
 
 	fetcher *Fetcher
 }
@@ -87,7 +94,11 @@ func NewPlayer(baseURL string) *Player {
 // from the Fetch config and the optional HTTP override.
 func (p *Player) Fetcher() *Fetcher {
 	if p.fetcher == nil {
-		p.fetcher = NewFetcher(p.Fetch, p.HTTP)
+		cfg := p.Fetch
+		if cfg.Trace == nil {
+			cfg.Trace = p.Trace // fetch/decode stages land in the player's tracer
+		}
+		p.fetcher = NewFetcher(cfg, p.HTTP)
 	}
 	return p.fetcher
 }
@@ -190,12 +201,15 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 		}
 
 		for f := 0; f < seg.Frames && frameIdx < imu.Frames(); f, frameIdx = f+1, frameIdx+1 {
+			sp := p.Trace.StartFrame(seg.Index, frameIdx)
 			o := imu.At(frameIdx)
 			hit := false
+			sp.Start(telemetry.StageFOVCheck)
 			if !fallback && f < len(fovFrames) && f < len(fovMeta) {
 				meta := geom.Orientation{Yaw: fovMeta[f].Yaw, Pitch: fovMeta[f].Pitch}
 				hit = o.AngularDistance(meta) <= tolerance
 			}
+			sp.Stop(telemetry.StageFOVCheck)
 			if !fallback && !hit {
 				// FOV miss: request the original segment (§5.4).
 				origFrames, err = ftch.OrigSegment(p.BaseURL, video, seg.Index)
@@ -220,10 +234,13 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 				// Direct display: the display processor crops the HMD FOV
 				// out of the margin-padded FOV frame and scales it to the
 				// panel — plain pixel manipulation, no PT (§2).
+				sp.Start(telemetry.StageDisplay)
 				out = cropToViewport(fovFrames[f], vp,
 					geom.Radians(p.HMD.FOVXDeg)/geom.Radians(man.FOVXDeg),
 					geom.Radians(p.HMD.FOVYDeg)/geom.Radians(man.FOVYDeg))
+				sp.Stop(telemetry.StageDisplay)
 			} else if f < len(origFrames) {
+				sp.Start(telemetry.StageRender)
 				if engine != nil {
 					out = engine.RenderParallel(origFrames[f], o, p.Workers)
 					stats.PTEFrames++
@@ -233,6 +250,7 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 						return stats, nil, err
 					}
 				}
+				sp.Stop(telemetry.StageRender)
 			} else if p.Resilient && len(displayed) > 0 {
 				// Nothing decodable: repeat the last good frame.
 				out = displayed[len(displayed)-1]
@@ -242,6 +260,8 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 			}
 			displayed = append(displayed, out)
 			stats.Frames++
+			sp.SetHit(hit)
+			sp.Finish()
 		}
 	}
 	return stats, displayed, nil

@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"evr/internal/frame"
 	"evr/internal/geom"
+	"evr/internal/telemetry"
 )
 
 // The parallel renderer splits the output viewport into contiguous row
@@ -39,6 +41,22 @@ func DefaultWorkers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// bandObserver, when set, receives the wall-clock duration of every row
+// band rendered by RenderParallel — one observation per worker per frame.
+// The histogram's p50-vs-max spread is worker-pool skew: bands are
+// near-equal row counts, so a long tail means uneven per-row cost (pole
+// rows sample fewer source texels than equator rows) or scheduler
+// preemption. Disabled (nil) it costs one atomic load per band, not per
+// pixel; cmd/evrbench -telemetry turns it on.
+var bandObserver atomic.Pointer[telemetry.Histogram]
+
+// SetBandObserver installs (or, with nil, removes) the histogram that
+// receives per-band render durations from RenderParallel.
+func SetBandObserver(h *telemetry.Histogram) { bandObserver.Store(h) }
+
+// BandObserver returns the installed per-band histogram (nil when off).
+func BandObserver() *telemetry.Histogram { return bandObserver.Load() }
 
 // pixPool recycles output pixel buffers between renders. A 1080p RGB24
 // frame is ~6 MB; at 60 FPS the allocator would otherwise churn through
@@ -98,8 +116,9 @@ func RenderParallelChecked(c Config, full *frame.Frame, o geom.Orientation, work
 		workers = h
 	}
 	out := newPooledFrame(c.Viewport.Width, h)
+	obs := bandObserver.Load()
 	if workers <= 1 {
-		c.renderRows(full, o, out, 0, h)
+		renderBand(c, full, o, out, 0, h, obs)
 		return out, nil
 	}
 	var wg sync.WaitGroup
@@ -110,9 +129,22 @@ func RenderParallelChecked(c Config, full *frame.Frame, o geom.Orientation, work
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.renderRows(full, o, out, j0, j1)
+			renderBand(c, full, o, out, j0, j1, obs)
 		}()
 	}
 	wg.Wait()
 	return out, nil
+}
+
+// renderBand renders one contiguous row band, reporting its duration to
+// the band observer when one is installed. The clock is only read when
+// observing, so the disabled path adds a nil test per band.
+func renderBand(c Config, full *frame.Frame, o geom.Orientation, out *frame.Frame, j0, j1 int, obs *telemetry.Histogram) {
+	if obs == nil {
+		c.renderRows(full, o, out, j0, j1)
+		return
+	}
+	t0 := time.Now()
+	c.renderRows(full, o, out, j0, j1)
+	obs.ObserveDuration(time.Since(t0))
 }

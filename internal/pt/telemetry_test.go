@@ -1,0 +1,74 @@
+package pt
+
+import (
+	"math"
+	"testing"
+
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/telemetry"
+)
+
+// TestBandObserverRecordsBands: with an observer installed, RenderParallel
+// reports exactly one duration per row band per frame, pixels stay
+// byte-identical to the unobserved render, and removing the observer stops
+// the flow.
+func TestBandObserverRecordsBands(t *testing.T) {
+	full := randomFrame(96, 48, 11)
+	o := geom.Orientation{Yaw: 0.3, Pitch: 0.1}
+	cfg := Config{Projection: projection.ERP, Filter: Bilinear, Viewport: testViewport()}
+	want := Render(cfg, full, o)
+
+	h := telemetry.NewHistogram(telemetry.DefaultStageBuckets())
+	SetBandObserver(h)
+	defer SetBandObserver(nil)
+
+	for _, workers := range []int{1, 4} {
+		before := h.Snapshot().Count
+		got := RenderParallel(cfg, full, o, workers)
+		if !got.Equal(want) {
+			t.Errorf("%d workers: observed render differs from reference", workers)
+		}
+		Recycle(got)
+		if d := h.Snapshot().Count - before; d != int64(workers) {
+			t.Errorf("%d workers: %d band observations, want %d", workers, d, workers)
+		}
+	}
+	s := h.Snapshot()
+	if s.Max <= 0 || s.Quantile(0.5) <= 0 {
+		t.Errorf("band durations not positive: max=%v p50=%v", s.Max, s.Quantile(0.5))
+	}
+
+	SetBandObserver(nil)
+	if BandObserver() != nil {
+		t.Fatal("observer not removed")
+	}
+	before := s.Count
+	Recycle(RenderParallel(cfg, full, o, 4))
+	if got := h.Snapshot().Count; got != before {
+		t.Errorf("removed observer still fed: %d → %d", before, got)
+	}
+}
+
+// TestBandObserverConcurrentRenders drives parallel renders while toggling
+// the observer — the atomic pointer must keep this race-clean under ci.sh's
+// -race gate.
+func TestBandObserverConcurrentRenders(t *testing.T) {
+	full := randomFrame(64, 32, 3)
+	o := geom.Orientation{Yaw: math.Pi / 4}
+	cfg := Config{Projection: projection.ERP, Filter: Nearest, Viewport: testViewport()}
+	h := telemetry.NewHistogram(nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			SetBandObserver(h)
+			SetBandObserver(nil)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		Recycle(RenderParallel(cfg, full, o, 4))
+	}
+	<-done
+	SetBandObserver(nil)
+}

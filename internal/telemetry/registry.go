@@ -1,0 +1,259 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value dimension on a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is every series sharing one metric name (and therefore one kind).
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series // keyed by label signature
+}
+
+// series is one (name, labels) time series.
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry is a named-metric registry: get-or-create lookup of counters,
+// gauges, and histograms keyed by (name, labels), with deterministic
+// Prometheus text exposition. Lookups are intended for wiring time (cache
+// the returned pointer on the hot path); updates on the returned metrics
+// are lock-free. The nil Registry is valid: it hands out nil metrics,
+// which in turn discard all updates.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use. If name is already registered as a different kind, a
+// detached (unexported) counter is returned so call sites never panic.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	s := r.lookup(name, kindCounter, nil, labels)
+	if s == nil {
+		return nil
+	}
+	if s.counter == nil {
+		return &Counter{} // kind clash: detached
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge registered under (name, labels).
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	s := r.lookup(name, kindGauge, nil, labels)
+	if s == nil {
+		return nil
+	}
+	if s.gauge == nil {
+		return &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram registered under (name, labels). bounds
+// applies on first creation of the series (nil = DefaultLatencyBuckets);
+// later calls reuse the existing buckets.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	s := r.lookup(name, kindHistogram, bounds, labels)
+	if s == nil {
+		return nil
+	}
+	if s.hist == nil {
+		return NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// SetHelp attaches Prometheus HELP text to a metric name.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+	} else {
+		r.families[name] = &family{name: name, help: help, series: make(map[string]*series)}
+	}
+}
+
+// lookup returns the series for (name, kind, labels), creating family and
+// series as needed. A kind clash returns a series with nil metric of the
+// requested kind, which the caller turns into a detached metric.
+func (r *Registry) lookup(name string, kind metricKind, bounds []float64, labels []Label) *series {
+	if r == nil {
+		return nil
+	}
+	sig := signature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if len(f.series) == 0 && f.kind != kind {
+		f.kind = kind // help-only placeholder from SetHelp adopts the first real kind
+	}
+	if f.kind != kind {
+		return &series{} // clash; caller detaches
+	}
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: append([]Label(nil), labels...)}
+		switch kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			s.hist = NewHistogram(bounds)
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// signature serializes labels into a canonical, escaped key.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), deterministically ordered by metric
+// name and label signature. Histograms emit cumulative le-bucket counts,
+// a +Inf bucket, and _sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := f.series[sig]
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, braced(sig), s.counter.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, braced(sig), s.gauge.Value())
+			case kindHistogram:
+				writePromHistogram(&b, f.name, sig, s.hist.Snapshot())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// braced wraps a non-empty label signature in curly braces.
+func braced(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	return "{" + sig + "}"
+}
+
+// writePromHistogram emits one histogram series in exposition format.
+func writePromHistogram(b *strings.Builder, name, sig string, s HistogramSnapshot) {
+	join := func(extra string) string {
+		if sig == "" {
+			return "{" + extra + "}"
+		}
+		return "{" + sig + "," + extra + "}"
+	}
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, join(fmt.Sprintf(`le="%g"`, bound)), cum)
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, join(`le="+Inf"`), cum)
+	fmt.Fprintf(b, "%s_sum%s %g\n", name, braced(sig), s.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, braced(sig), cum)
+}
