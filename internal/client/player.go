@@ -215,6 +215,7 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 				origFrames, err = ftch.OrigSegment(p.BaseURL, video, seg.Index)
 				if err != nil {
 					if !p.Resilient {
+						sp.Finish() // record the partially-timed frame
 						return stats, nil, err
 					}
 					stats.PayloadErrors++
@@ -247,6 +248,8 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 				} else {
 					out, err = pt.RenderParallelChecked(refCfg, origFrames[f], o, p.Workers)
 					if err != nil {
+						sp.Stop(telemetry.StageRender)
+						sp.Finish() // record the partially-timed frame
 						return stats, nil, err
 					}
 				}

@@ -193,12 +193,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	// Serialize into a buffer while holding r.mu: lookup registers series
+	// lazily and SetHelp mutates help text, so f.series/f.help may not be
+	// read unlocked. Metric updates are lock-free atomics and exposition is
+	// rare, so holding the lock here never stalls the hot path; only the
+	// (possibly slow) write to w happens after unlock.
 	r.mu.Lock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)
 	}
-	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	var b strings.Builder
@@ -227,6 +231,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	r.mu.Unlock()
 	_, err := io.WriteString(w, b.String())
 	return err
 }

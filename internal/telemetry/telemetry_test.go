@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -176,6 +177,29 @@ func TestRegistryConcurrent(t *testing.T) {
 			}
 		}(g)
 	}
+	// Exposition must race series *creation*, not just updates: one
+	// goroutine keeps registering brand-new label values (fresh map
+	// inserts in lookup) while another loops WritePrometheus, so a
+	// serialization pass that reads family maps without the lock
+	// trips -race here.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < goroutines*iters; i++ {
+			r.Counter("fresh", L("endpoint", fmt.Sprintf("ep%d", i))).Inc()
+			r.SetHelp("fresh", fmt.Sprintf("help rev %d", i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < goroutines*iters/4; i++ {
+			var buf strings.Builder
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
 	wg.Wait()
 	var total int64
 	for _, ep := range endpoints {
