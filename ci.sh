@@ -2,10 +2,14 @@
 # CI gate: format check, vet, build, and run the full test suite under the
 # race detector. The parallel render engine (pt.RenderParallel,
 # pte.RenderParallel, server ingest fan-out), the client fetch layer
-# (prefetcher + singleflight + LRU cache), and the telemetry subsystem
-# (registry/histogram/tracer) must stay race-clean; every PR runs this
-# before merge. The benchmark smoke run keeps the telemetry disabled-path
-# overhead benchmarks compiling and executable without timing them.
+# (prefetcher + singleflight + LRU cache), the telemetry subsystem
+# (registry/histogram/tracer), and the multi-user serving layer (response
+# cache + singleflight + admission control, soaked by loadgen's 32-session
+# test) must stay race-clean; every PR runs this before merge. The
+# benchmark smoke run keeps the telemetry disabled-path overhead benchmarks
+# compiling and executable without timing them, and the fuzz smoke gives
+# the wire-format and manifest fuzzers a short budget beyond their checked
+# in seeds.
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -13,3 +17,5 @@ go vet ./...
 go build ./...
 go test -race ./...
 go test ./internal/telemetry -run=NONE -bench=TelemetryOverhead -benchtime=1x
+go test ./internal/server -run='^$' -fuzz=FuzzUnmarshalBitstream -fuzztime=5s
+go test ./internal/server -run='^$' -fuzz=FuzzManifestJSON -fuzztime=5s

@@ -1,0 +1,116 @@
+// Command evrload drives the EVR serving path with N concurrent synthetic
+// users, each replaying their deterministic head trace through the real
+// HTTP client fetch layer, and reports per-user FOV-hit rates, request
+// latency p50/p95/p99, cache effectiveness on both sides of the wire, and
+// aggregate throughput.
+//
+// With no -url it ingests the video and serves it in-process on a loopback
+// listener — a self-contained load experiment — and can then also report
+// the server-side response-cache and admission-control deltas per pass.
+// Point -url at a running evrserver to drive a remote target instead.
+//
+// Usage:
+//
+//	evrload [-url http://host:8090] [-video RS] [-users 32] [-passes 2]
+//	        [-segments 4] [-width 192] [-viewport-scale 40]
+//	        [-respcache 64] [-max-inflight 0] [-store-delay 0]
+//	        [-har] [-resilient] [-timeout 10s] [-retries 3] [-cache 8]
+//	        [-prefetch] [-per-user]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"evr/internal/client"
+	"evr/internal/loadgen"
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+func main() {
+	url := flag.String("url", "", "EVR server base URL (empty = ingest and serve in-process)")
+	video := flag.String("video", "RS", "video name")
+	users := flag.Int("users", 32, "concurrent sessions per pass")
+	passes := flag.Int("passes", 2, "replays of the whole user set (pass 2+ hits the server cache)")
+	segments := flag.Int("segments", 4, "segments to play per session (0 = all available)")
+	width := flag.Int("width", 192, "panoramic ingest width for the in-process server (height = width/2)")
+	viewportScale := flag.Int("viewport-scale", 0, "shrink rendered viewports by this linear factor (0 = player default)")
+	respcache := flag.Int64("respcache", 64, "in-process server response cache budget in MiB (0 = off)")
+	maxInflight := flag.Int("max-inflight", 0, "in-process server admission limit on concurrent segment requests (0 = off)")
+	storeDelay := flag.Duration("store-delay", 0, "synthetic in-process store latency per cache miss")
+	har := flag.Bool("har", true, "render FOV misses on the PTE accelerator")
+	resilient := flag.Bool("resilient", false, "survive corrupt/missing payloads (degrade instead of abort)")
+	timeout := flag.Duration("timeout", client.DefaultFetchConfig().Timeout, "per-request HTTP timeout (0 = none)")
+	retries := flag.Int("retries", client.DefaultFetchConfig().MaxRetries, "retries per request on transient failures")
+	cache := flag.Int("cache", client.DefaultFetchConfig().CacheSegments, "per-session decoded-segment LRU capacity (0 = off)")
+	prefetch := flag.Bool("prefetch", true, "prefetch the next segment in the background")
+	perUser := flag.Bool("per-user", false, "print one result row per session")
+	flag.Parse()
+
+	v, ok := scene.ByName(*video)
+	if !ok {
+		log.Fatalf("unknown video %q (catalog: Elephant, Paris, RS, NYC, Rhino, Timelapse)", *video)
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:       *url,
+		Video:         *video,
+		Spec:          v,
+		Users:         *users,
+		Passes:        *passes,
+		Segments:      *segments,
+		ViewportScale: *viewportScale,
+		UseHAR:        *har,
+		Resilient:     *resilient,
+	}
+	fetch := client.DefaultFetchConfig()
+	fetch.Timeout = *timeout
+	fetch.MaxRetries = *retries
+	fetch.CacheSegments = *cache
+	fetch.Prefetch = *prefetch
+	cfg.Fetch = &fetch
+
+	if *url == "" {
+		opts := server.DefaultServiceOptions()
+		opts.RespCacheBytes = *respcache << 20
+		opts.MaxInFlight = *maxInflight
+		opts.StoreDelay = *storeDelay
+		svc := server.NewServiceOpts(store.New(), opts)
+
+		ingest := server.DefaultIngestConfig()
+		ingest.FullW = *width - *width%8
+		ingest.FullH = ingest.FullW / 2
+		ingest.MaxSegments = *segments
+		start := time.Now()
+		if _, err := svc.IngestVideo(v, ingest); err != nil {
+			log.Fatalf("ingesting %s: %v", *video, err)
+		}
+		log.Printf("ingested %s in-process (%d segments at %dx%d) in %v",
+			*video, *segments, ingest.FullW, ingest.FullH, time.Since(start).Round(time.Millisecond))
+
+		baseURL, shutdown, err := loadgen.Serve(svc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		log.Printf("serving on %s (respcache %d MiB, max in-flight %d, store delay %v)",
+			baseURL, *respcache, *maxInflight, *storeDelay)
+		cfg.BaseURL = baseURL
+		cfg.Service = svc
+	}
+
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.WriteText(os.Stdout, *perUser)
+	if fails := rep.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "evrload: %d/%d sessions failed\n", len(fails), len(rep.Results))
+		os.Exit(1)
+	}
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	evrserver [-addr :8090] [-videos RS,Timelapse] [-segments 4] [-width 192]
+//	          [-respcache 64] [-max-inflight 0] [-retry-after 1s]
 //	          [-pprof localhost:6060]
 //
 // Endpoints: /videos, /v/{video}/manifest, /v/{video}/orig/{seg},
@@ -35,6 +36,9 @@ func main() {
 	live := flag.Bool("live", false, "live-streaming mode: no ingest analysis, no FOV videos (§8.3)")
 	width := flag.Int("width", 192, "panoramic ingest width (height = width/2)")
 	snapshot := flag.String("snapshot", "", "persist the SAS store to this file (loaded on start, saved after ingest)")
+	respcache := flag.Int64("respcache", server.DefaultServiceOptions().RespCacheBytes>>20, "response cache budget in MiB (0 = off)")
+	maxInflight := flag.Int("max-inflight", 0, "admission limit on concurrent segment requests (0 = unlimited)")
+	retryAfter := flag.Duration("retry-after", server.DefaultServiceOptions().RetryAfter, "Retry-After hint on shed (503) responses")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
 
@@ -61,7 +65,11 @@ func main() {
 			log.Printf("loaded store snapshot %s (%s)", *snapshot, byteSize(st.DataBytes()))
 		}
 	}
-	svc := server.NewService(st)
+	opts := server.DefaultServiceOptions()
+	opts.RespCacheBytes = *respcache << 20
+	opts.MaxInFlight = *maxInflight
+	opts.RetryAfter = *retryAfter
+	svc := server.NewServiceOpts(st, opts)
 	for _, name := range strings.Split(*videos, ",") {
 		name = strings.TrimSpace(name)
 		v, ok := scene.ByName(name)

@@ -32,6 +32,7 @@ import (
 	"evr/internal/experiments"
 	"evr/internal/headtrace"
 	"evr/internal/hmd"
+	"evr/internal/loadgen"
 	"evr/internal/pte"
 	"evr/internal/quality"
 	"evr/internal/scene"
@@ -132,16 +133,49 @@ type (
 	Player = client.Player
 	// Store is the log-structured SAS store.
 	Store = store.Store
+	// ServiceOptions tunes the serving layer: response cache budget,
+	// admission control, and synthetic store latency for experiments.
+	ServiceOptions = server.ServiceOptions
+	// RespCacheStats is a snapshot of the server response cache.
+	RespCacheStats = server.RespCacheStats
 )
 
 // NewService returns a streaming service over a fresh store.
 func NewService() *Service { return server.NewService(store.New()) }
+
+// NewServiceOpts returns a streaming service over a fresh store with an
+// explicit serving-layer configuration.
+func NewServiceOpts(opts ServiceOptions) *Service { return server.NewServiceOpts(store.New(), opts) }
+
+// DefaultServiceOptions returns the serving-layer defaults (64 MiB response
+// cache, no admission limit).
+func DefaultServiceOptions() ServiceOptions { return server.DefaultServiceOptions() }
 
 // DefaultIngestConfig returns a test-scale ingest pipeline configuration.
 func DefaultIngestConfig() IngestConfig { return server.DefaultIngestConfig() }
 
 // NewPlayer returns a playback client for an EVR server URL.
 func NewPlayer(baseURL string) *Player { return client.NewPlayer(baseURL) }
+
+// Multi-user load generation (cmd/evrload's engine).
+type (
+	// LoadConfig describes one multi-user load run against an EVR server.
+	LoadConfig = loadgen.Config
+	// LoadReport is the outcome: per-user results, per-pass aggregates,
+	// and the request-latency distribution.
+	LoadReport = loadgen.Report
+)
+
+// RunLoad executes a multi-user load run: Passes waves of Users concurrent
+// playback sessions, each replaying its deterministic head trace.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) { return loadgen.Run(cfg) }
+
+// ServeLocal exposes a service on an ephemeral loopback listener and
+// returns its base URL plus a shutdown func — the in-process target for
+// RunLoad and tests.
+func ServeLocal(svc *Service) (baseURL string, shutdown func(), err error) {
+	return loadgen.Serve(svc)
+}
 
 // Telemetry: the shared observability core (see internal/telemetry).
 type (

@@ -76,6 +76,53 @@ func TestPublicAPIStreamingLoop(t *testing.T) {
 	}
 }
 
+// TestPublicAPIServingLayer exercises the multi-user serving surface:
+// explicit service options, the in-process listener, and the load engine.
+func TestPublicAPIServingLayer(t *testing.T) {
+	video, _ := evr.VideoByName("RS")
+	cfg := evr.DefaultIngestConfig()
+	cfg.FullW, cfg.FullH = 96, 48
+	cfg.FOVW, cfg.FOVH = 32, 32
+	cfg.MaxSegments = 1
+	cfg.Codec.SearchRange = 1
+
+	opts := evr.DefaultServiceOptions()
+	if opts.RespCacheBytes <= 0 {
+		t.Fatal("response cache off by default")
+	}
+	svc := evr.NewServiceOpts(opts)
+	if _, err := svc.IngestVideo(video, cfg); err != nil {
+		t.Fatal(err)
+	}
+	baseURL, shutdown, err := evr.ServeLocal(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	rep, err := evr.RunLoad(evr.LoadConfig{
+		BaseURL:       baseURL,
+		Video:         "RS",
+		Users:         2,
+		Segments:      1,
+		ViewportScale: 32,
+		Service:       svc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures()) != 0 {
+		t.Fatalf("load failures: %v", rep.Failures())
+	}
+	stats, ok := svc.RespCacheStats()
+	if !ok {
+		t.Fatal("no response-cache stats with cache on")
+	}
+	if stats.Hits+stats.Misses == 0 {
+		t.Error("load run never touched the response cache")
+	}
+}
+
 // TestPublicAPIPTE exercises the accelerator surface.
 func TestPublicAPIPTE(t *testing.T) {
 	hmdCfg := evr.OSVRHDK2()

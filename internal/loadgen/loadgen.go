@@ -1,0 +1,357 @@
+// Package loadgen is the multi-user load harness for the EVR serving
+// path: it spins up N synthetic users, each replaying their deterministic
+// head trace (internal/headtrace) through the real HTTP client fetch layer
+// and player against an in-process or remote EVR server, and reports
+// per-user FOV-hit rates, request-latency quantiles, cache effectiveness
+// on both sides of the wire, and aggregate throughput.
+//
+// The same engine drives the evrload CLI and the CI concurrency soak: the
+// driver is deterministic per (video, user) — every pass replays identical
+// traces, so displayed-frame checksums must match pass to pass, which is
+// how the soak proves the serving path's caches never change pixels.
+package loadgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"evr/internal/client"
+	"evr/internal/frame"
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/telemetry"
+)
+
+// Config describes one load run.
+type Config struct {
+	// BaseURL is the target server. Required; Serve starts an in-process
+	// one.
+	BaseURL string
+	// Video names the catalog video whose traces the users replay.
+	Video string
+	// Spec optionally overrides the catalog lookup with an explicit video
+	// spec (Spec.Name non-empty). The spec must match what the target
+	// server ingested, because head traces derive from it.
+	Spec scene.VideoSpec
+	// Users is the number of concurrent sessions per pass.
+	Users int
+	// Passes replays the whole user set this many times (≥ 1). Players
+	// are fresh each pass — client caches start cold — so pass 2 onward
+	// measures the server-side response cache, not the client's.
+	Passes int
+	// Segments bounds each playback (0 = all published segments).
+	Segments int
+	// ViewportScale shrinks rendered viewports (0 = the player default).
+	ViewportScale int
+	// UseHAR renders FOV misses on the PTE accelerator.
+	UseHAR bool
+	// Resilient survives corrupt payloads instead of aborting a session.
+	Resilient bool
+	// RenderWorkers bounds each player's render pool. 0 = 1: with N
+	// players already running, per-player fan-out oversubscribes the host.
+	RenderWorkers int
+	// Fetch tunes each session's fetch layer. nil = client defaults.
+	Fetch *client.FetchConfig
+	// HTTP optionally overrides the shared HTTP client. nil builds one
+	// transport sized for Users concurrent sessions; sharing it across
+	// players is deliberate — connection reuse is what a real multi-user
+	// edge sees.
+	HTTP *http.Client
+	// Service, when the target is in-process, lets the report include
+	// server-side response-cache and admission deltas per pass.
+	Service *server.Service
+}
+
+// UserResult is one session's outcome.
+type UserResult struct {
+	User    int
+	Pass    int
+	Err     error
+	Elapsed time.Duration
+	Stats   client.PlaybackStats
+	// Checksum is an FNV-1a hash of every displayed frame's pixels, in
+	// order. Identical traces must produce identical checksums regardless
+	// of cache configuration or concurrency — the soak's core assertion.
+	Checksum uint64
+}
+
+// HitRate returns the session's FOV-hit fraction.
+func (r UserResult) HitRate() float64 {
+	if r.Stats.Frames == 0 {
+		return 0
+	}
+	return float64(r.Stats.Hits) / float64(r.Stats.Frames)
+}
+
+// ServerDelta is the change in server-side serving counters over one pass
+// (in-process targets only).
+type ServerDelta struct {
+	CacheHits      int64
+	CacheMisses    int64
+	CacheCoalesced int64
+	Throttled      int64
+}
+
+// PassStats aggregates one pass.
+type PassStats struct {
+	Pass         int
+	Elapsed      time.Duration
+	Sessions     int
+	Failures     int
+	Frames       int
+	Hits         int
+	Misses       int
+	HitRate      float64
+	BytesFetched int64
+	ClientHits   int // client-side cache hits (incl. singleflight joins)
+	Retries      int
+	FramesPerSec float64
+	Server       *ServerDelta // nil for remote targets
+}
+
+// LatencySummary is the aggregate HTTP request-latency view, measured at
+// the transport across every session and pass (retries count per attempt).
+type LatencySummary struct {
+	Requests int64
+	Errors   int64 // transport errors and non-2xx responses
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+	Max      time.Duration
+}
+
+// Report is the full outcome of a load run.
+type Report struct {
+	Video    string
+	Users    int
+	Passes   int
+	Segments int
+	Results  []UserResult // Users × Passes entries
+	PerPass  []PassStats
+	Latency  LatencySummary
+	Elapsed  time.Duration
+}
+
+// Failures returns the failed sessions.
+func (r *Report) Failures() []UserResult {
+	var out []UserResult
+	for _, u := range r.Results {
+		if u.Err != nil {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// timingTransport observes every HTTP round trip into a shared latency
+// histogram — the request-latency distribution the whole report quotes.
+type timingTransport struct {
+	base     http.RoundTripper
+	hist     *telemetry.Histogram
+	requests telemetry.Counter
+	errors   telemetry.Counter
+}
+
+func (t *timingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	start := time.Now()
+	resp, err := t.base.RoundTrip(req)
+	t.hist.ObserveDuration(time.Since(start))
+	t.requests.Inc()
+	if err != nil || resp.StatusCode >= 400 {
+		t.errors.Inc()
+	}
+	return resp, err
+}
+
+// Serve exposes a service on an ephemeral loopback listener, returning its
+// base URL and a shutdown func. It is how evrload and the soak test run
+// "against an in-process server" without leaving the process.
+func Serve(svc *server.Service) (baseURL string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, fmt.Errorf("loadgen: listen: %w", err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln) //nolint:errcheck // closed via shutdown
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// validate fills defaults and rejects unusable configs.
+func (c *Config) validate() (scene.VideoSpec, error) {
+	if c.Users < 1 {
+		return scene.VideoSpec{}, fmt.Errorf("loadgen: Users %d must be ≥ 1", c.Users)
+	}
+	if c.Passes < 1 {
+		c.Passes = 1
+	}
+	if c.BaseURL == "" {
+		return scene.VideoSpec{}, fmt.Errorf("loadgen: BaseURL required (use Serve for an in-process server)")
+	}
+	spec := c.Spec
+	if spec.Name == "" {
+		v, ok := scene.ByName(c.Video)
+		if !ok {
+			return scene.VideoSpec{}, fmt.Errorf("loadgen: unknown video %q", c.Video)
+		}
+		spec = v
+	}
+	return spec, nil
+}
+
+// Run executes the load: Passes waves of Users concurrent playback
+// sessions. Setup failures return an error; per-session failures land in
+// the report (and in Report.Failures) so one bad session doesn't mask the
+// other N-1 measurements.
+func Run(cfg Config) (*Report, error) {
+	spec, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	fetch := client.DefaultFetchConfig()
+	if cfg.Fetch != nil {
+		fetch = *cfg.Fetch
+	}
+
+	tt := &timingTransport{
+		base: &http.Transport{
+			MaxIdleConns:        cfg.Users * 2,
+			MaxIdleConnsPerHost: cfg.Users * 2,
+		},
+		hist: telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()),
+	}
+	httpClient := cfg.HTTP
+	if httpClient == nil {
+		httpClient = &http.Client{Transport: tt}
+	} else {
+		// Keep the caller's client but still measure through it.
+		base := httpClient.Transport
+		if base == nil {
+			base = http.DefaultTransport
+		}
+		tt.base = base
+		wrapped := *httpClient
+		wrapped.Transport = tt
+		httpClient = &wrapped
+	}
+
+	// Traces are generated once and replayed every pass: determinism is
+	// the property the soak leans on.
+	traces := make([]headtrace.Trace, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		traces[u] = headtrace.Generate(spec, u)
+	}
+
+	rep := &Report{Video: spec.Name, Users: cfg.Users, Passes: cfg.Passes, Segments: cfg.Segments}
+	start := time.Now()
+	for pass := 1; pass <= cfg.Passes; pass++ {
+		var before server.RespCacheStats
+		var beforeThrottled int64
+		serverSide := false
+		if cfg.Service != nil {
+			before, serverSide = cfg.Service.RespCacheStats()
+			beforeThrottled = cfg.Service.Throttled()
+		}
+
+		results := make([]UserResult, cfg.Users)
+		passStart := time.Now()
+		var wg sync.WaitGroup
+		for u := 0; u < cfg.Users; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				results[u] = runSession(cfg, fetch, httpClient, spec.Name, traces[u], u, pass)
+			}(u)
+		}
+		wg.Wait()
+		passElapsed := time.Since(passStart)
+
+		ps := PassStats{Pass: pass, Elapsed: passElapsed, Sessions: cfg.Users}
+		for _, r := range results {
+			if r.Err != nil {
+				ps.Failures++
+				continue
+			}
+			ps.Frames += r.Stats.Frames
+			ps.Hits += r.Stats.Hits
+			ps.Misses += r.Stats.Misses
+			ps.BytesFetched += r.Stats.BytesFetched
+			ps.ClientHits += r.Stats.CacheHits
+			ps.Retries += r.Stats.Retries
+		}
+		if ps.Frames > 0 {
+			ps.HitRate = float64(ps.Hits) / float64(ps.Frames)
+			ps.FramesPerSec = float64(ps.Frames) / passElapsed.Seconds()
+		}
+		if cfg.Service != nil {
+			after, _ := cfg.Service.RespCacheStats()
+			delta := &ServerDelta{Throttled: cfg.Service.Throttled() - beforeThrottled}
+			if serverSide {
+				delta.CacheHits = after.Hits - before.Hits
+				delta.CacheMisses = after.Misses - before.Misses
+				delta.CacheCoalesced = after.Coalesced - before.Coalesced
+			}
+			ps.Server = delta
+		}
+		rep.PerPass = append(rep.PerPass, ps)
+		rep.Results = append(rep.Results, results...)
+	}
+	rep.Elapsed = time.Since(start)
+
+	snap := tt.hist.Snapshot()
+	rep.Latency = LatencySummary{
+		Requests: tt.requests.Value(),
+		Errors:   tt.errors.Value(),
+		P50:      time.Duration(snap.Quantile(0.50) * float64(time.Second)),
+		P95:      time.Duration(snap.Quantile(0.95) * float64(time.Second)),
+		P99:      time.Duration(snap.Quantile(0.99) * float64(time.Second)),
+		Max:      time.Duration(snap.Max * float64(time.Second)),
+	}
+	return rep, nil
+}
+
+// runSession plays one user's trace through a fresh player on the shared
+// HTTP client and summarizes it.
+func runSession(cfg Config, fetch client.FetchConfig, httpClient *http.Client, video string, trace headtrace.Trace, user, pass int) UserResult {
+	p := client.NewPlayer(cfg.BaseURL)
+	p.HTTP = httpClient
+	p.Fetch = fetch
+	p.UseHAR = cfg.UseHAR
+	p.Resilient = cfg.Resilient
+	if cfg.ViewportScale > 0 {
+		p.ViewportScale = cfg.ViewportScale
+	}
+	p.Workers = cfg.RenderWorkers
+	if p.Workers == 0 {
+		p.Workers = 1
+	}
+	start := time.Now()
+	stats, frames, err := p.Play(video, hmd.NewIMU(trace), cfg.Segments)
+	return UserResult{
+		User:     user,
+		Pass:     pass,
+		Err:      err,
+		Elapsed:  time.Since(start),
+		Stats:    stats,
+		Checksum: ChecksumFrames(frames),
+	}
+}
+
+// ChecksumFrames hashes displayed frames (dimensions and pixels, in
+// order) — the pass-to-pass and config-to-config byte-identity probe.
+func ChecksumFrames(frames []*frame.Frame) uint64 {
+	h := fnv.New64a()
+	var dims [8]byte
+	for _, f := range frames {
+		dims[0], dims[1], dims[2], dims[3] = byte(f.W), byte(f.W>>8), byte(f.W>>16), byte(f.W>>24)
+		dims[4], dims[5], dims[6], dims[7] = byte(f.H), byte(f.H>>8), byte(f.H>>16), byte(f.H>>24)
+		h.Write(dims[:]) //nolint:errcheck // fnv never fails
+		h.Write(f.Pix)   //nolint:errcheck
+	}
+	return h.Sum64()
+}

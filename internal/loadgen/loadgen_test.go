@@ -1,0 +1,200 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+// soakSpec is a tiny deterministic video: 2 segments of 30 frames with one
+// slowly-drifting object, cheap enough to ingest and replay under -race.
+func soakSpec() scene.VideoSpec {
+	return scene.VideoSpec{
+		Name:     "SOAK",
+		Duration: 2,
+		FPS:      30,
+		Objects: []scene.ObjectSpec{{
+			ID: 0, BaseYaw: 0.3, BasePitch: 0.1, DriftYaw: 0.2,
+			Radius: 0.35, Color: [3]byte{220, 40, 40},
+		}},
+		Complexity: 0.3,
+	}
+}
+
+func soakIngest() server.IngestConfig {
+	cfg := server.DefaultIngestConfig()
+	cfg.FullW, cfg.FullH = 48, 24
+	cfg.FOVW, cfg.FOVH = 16, 16
+	cfg.MaxSegments = 2
+	cfg.Codec.SearchRange = 1
+	return cfg
+}
+
+// soakService ingests soakSpec into a fresh in-process service. StoreDelay
+// widens the cache-miss window so that 32 simultaneous first requests for
+// the same segment must coalesce rather than racing past each other.
+func soakService(t *testing.T, opts server.ServiceOptions) *server.Service {
+	t.Helper()
+	svc := server.NewServiceOpts(store.New(), opts)
+	if _, err := svc.IngestVideo(soakSpec(), soakIngest()); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	return svc
+}
+
+// TestSoak32ConcurrentSessions is the CI concurrency soak: 32 users × 2
+// passes against an in-process server with the response cache and synthetic
+// store latency enabled, run under -race by ci.sh. It asserts the
+// serving-path invariants the issue pins down: every session succeeds,
+// displayed frames are byte-identical across passes, singleflight coalesces
+// concurrent identical misses, and pass 2 is served from the response cache.
+func TestSoak32ConcurrentSessions(t *testing.T) {
+	opts := server.DefaultServiceOptions()
+	opts.StoreDelay = 15 * time.Millisecond
+	svc := soakService(t, opts)
+
+	baseURL, shutdown, err := Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	const users = 32
+	rep, err := Run(Config{
+		BaseURL: baseURL,
+		Spec:    soakSpec(),
+		Users:   users,
+		Passes:  2,
+		// 1/32 of the panel keeps 64 pixel-exact sessions affordable
+		// under -race; the checksums still cover every displayed pixel.
+		ViewportScale: 32,
+		Service:       svc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fails := rep.Failures(); len(fails) != 0 {
+		t.Fatalf("%d/%d sessions failed, first: user %d pass %d: %v",
+			len(fails), len(rep.Results), fails[0].User, fails[0].Pass, fails[0].Err)
+	}
+	if len(rep.Results) != users*2 {
+		t.Fatalf("got %d results, want %d", len(rep.Results), users*2)
+	}
+
+	// Determinism: each user's displayed frames are byte-identical pass to
+	// pass — the caches and the concurrency never change pixels.
+	byUser := map[int]map[int]uint64{}
+	for _, r := range rep.Results {
+		if byUser[r.User] == nil {
+			byUser[r.User] = map[int]uint64{}
+		}
+		byUser[r.User][r.Pass] = r.Checksum
+	}
+	for u := 0; u < users; u++ {
+		if byUser[u][1] != byUser[u][2] {
+			t.Errorf("user %d frames differ across passes: %#x vs %#x", u, byUser[u][1], byUser[u][2])
+		}
+		if byUser[u][1] == 0 {
+			t.Errorf("user %d produced no frames", u)
+		}
+	}
+
+	// Every frame is either a FOV hit or a fallback miss.
+	for _, ps := range rep.PerPass {
+		if ps.Frames == 0 {
+			t.Fatalf("pass %d rendered no frames", ps.Pass)
+		}
+		if ps.Hits+ps.Misses != ps.Frames {
+			t.Errorf("pass %d: hits %d + misses %d != frames %d", ps.Pass, ps.Hits, ps.Misses, ps.Frames)
+		}
+		if ps.Server == nil {
+			t.Fatalf("pass %d: no server-side delta for in-process target", ps.Pass)
+		}
+	}
+
+	// Singleflight: 32 users fetch the same manifest and segments at once
+	// while the store is slow, so concurrent identical misses must coalesce.
+	p1 := rep.PerPass[0].Server
+	if p1.CacheCoalesced == 0 {
+		t.Error("pass 1 coalesced no concurrent identical misses")
+	}
+	// Response cache: pass 2 replays the same traces through fresh players
+	// (cold client caches), so the server must serve it from cache.
+	p2 := rep.PerPass[1].Server
+	if p2.CacheHits == 0 {
+		t.Error("pass 2 got no server response-cache hits")
+	}
+	if p2.CacheMisses != 0 {
+		t.Errorf("pass 2 missed the response cache %d times", p2.CacheMisses)
+	}
+
+	// Latency quantiles: monotone and bounded below by the store delay on
+	// at least the max (pass-1 misses pay StoreDelay).
+	l := rep.Latency
+	if l.Requests == 0 {
+		t.Fatal("no requests measured")
+	}
+	if l.P50 < 0 || l.P50 > l.P95 || l.P95 > l.P99 || l.P99 > l.Max {
+		t.Errorf("latency quantiles not monotone: p50 %v p95 %v p99 %v max %v", l.P50, l.P95, l.P99, l.Max)
+	}
+	if l.Max < opts.StoreDelay {
+		t.Errorf("max latency %v below the synthetic store delay %v", l.Max, opts.StoreDelay)
+	}
+
+	// The text report renders without panicking and mentions the headline
+	// numbers the CLI is specified to print.
+	var sb strings.Builder
+	rep.WriteText(&sb, true)
+	out := sb.String()
+	for _, want := range []string{"p50", "p95", "p99", "FOV hit", "coalesced", "per-user FOV-hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunRejectsBadConfig pins the validate() edges.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{BaseURL: "http://x", Video: "RS", Users: 0}); err == nil {
+		t.Error("Users=0 accepted")
+	}
+	if _, err := Run(Config{Video: "RS", Users: 1}); err == nil {
+		t.Error("empty BaseURL accepted")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Video: "no-such-video", Users: 1}); err == nil {
+		t.Error("unknown video accepted")
+	}
+}
+
+// TestServeRoundTrip exercises the in-process listener helper on its own.
+func TestServeRoundTrip(t *testing.T) {
+	svc := soakService(t, server.DefaultServiceOptions())
+	baseURL, shutdown, err := Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	rep, err := Run(Config{
+		BaseURL:       baseURL,
+		Spec:          soakSpec(),
+		Users:         2,
+		Segments:      1,
+		ViewportScale: 32,
+		Service:       svc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures()) != 0 {
+		t.Fatalf("failures: %v", rep.Failures())
+	}
+	if rep.PerPass[0].Frames != 2*30 {
+		t.Errorf("2 users × 1 segment = %d frames, want 60", rep.PerPass[0].Frames)
+	}
+}

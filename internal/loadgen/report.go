@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteText renders the report as the evrload CLI output: a per-pass
+// summary, the request-latency distribution, and (with perUser) one row
+// per session.
+func (r *Report) WriteText(w io.Writer, perUser bool) {
+	fmt.Fprintf(w, "loadgen: %d users × %d pass(es) over %s", r.Users, r.Passes, r.Video)
+	if r.Segments > 0 {
+		fmt.Fprintf(w, " (%d segments)", r.Segments)
+	}
+	fmt.Fprintf(w, ", wall time %v\n", r.Elapsed.Round(time.Millisecond))
+
+	for _, ps := range r.PerPass {
+		fmt.Fprintf(w, "pass %d: %d frames in %v (%.0f fps aggregate), FOV hit %.1f%%, %s fetched",
+			ps.Pass, ps.Frames, ps.Elapsed.Round(time.Millisecond), ps.FramesPerSec, 100*ps.HitRate, byteSize(ps.BytesFetched))
+		if ps.Failures > 0 {
+			fmt.Fprintf(w, ", %d/%d sessions FAILED", ps.Failures, ps.Sessions)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "        client cache hits %d, retries %d", ps.ClientHits, ps.Retries)
+		if ps.Server != nil {
+			fmt.Fprintf(w, "; server respcache %d hits / %d misses / %d coalesced, %d throttled",
+				ps.Server.CacheHits, ps.Server.CacheMisses, ps.Server.CacheCoalesced, ps.Server.Throttled)
+		}
+		fmt.Fprintln(w)
+	}
+
+	l := r.Latency
+	fmt.Fprintf(w, "request latency (%d requests, %d errors): p50 %v  p95 %v  p99 %v  max %v\n",
+		l.Requests, l.Errors,
+		l.P50.Round(time.Microsecond), l.P95.Round(time.Microsecond),
+		l.P99.Round(time.Microsecond), l.Max.Round(time.Microsecond))
+
+	if hr := r.perUserHitRates(); len(hr) > 0 {
+		fmt.Fprintf(w, "per-user FOV-hit rate: min %.1f%%  median %.1f%%  max %.1f%%\n",
+			100*hr[0], 100*hr[len(hr)/2], 100*hr[len(hr)-1])
+	}
+
+	if perUser {
+		fmt.Fprintf(w, "%5s %5s %8s %7s %7s %9s %10s %8s\n",
+			"user", "pass", "frames", "hits", "hit%", "fallback", "bytes", "elapsed")
+		for _, u := range r.Results {
+			if u.Err != nil {
+				fmt.Fprintf(w, "%5d %5d  FAILED: %v\n", u.User, u.Pass, u.Err)
+				continue
+			}
+			fmt.Fprintf(w, "%5d %5d %8d %7d %6.1f%% %9d %10d %8v\n",
+				u.User, u.Pass, u.Stats.Frames, u.Stats.Hits, 100*u.HitRate(),
+				u.Stats.Fallbacks, u.Stats.BytesFetched, u.Elapsed.Round(time.Millisecond))
+		}
+	}
+}
+
+// perUserHitRates returns every successful session's hit rate, sorted.
+func (r *Report) perUserHitRates() []float64 {
+	var out []float64
+	for _, u := range r.Results {
+		if u.Err == nil {
+			out = append(out, u.HitRate())
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

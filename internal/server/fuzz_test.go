@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"evr/internal/codec"
+)
+
+// FuzzUnmarshalBitstream is the native-fuzzing upgrade of the old
+// random-soup loop: any input must parse or error (never panic or OOM),
+// and anything that parses must survive a marshal → unmarshal round trip
+// unchanged — the wire format has one canonical encoding per bitstream.
+func FuzzUnmarshalBitstream(f *testing.F) {
+	// Seed with real round-trip payloads so the fuzzer starts inside the
+	// grammar, plus classic edge shapes.
+	seed := marshalBitstream(&codec.Bitstream{
+		W: 16, H: 8,
+		Frames: [][]byte{{1, 2, 3}, {4, 5}, {}},
+		Types:  []codec.FrameType{codec.IFrame, codec.PFrame, codec.PFrame},
+	})
+	f.Add(seed)
+	f.Add(seed[:5])
+	f.Add(seed[:len(seed)-1])
+	f.Add([]byte{})
+	f.Add(marshalBitstream(&codec.Bitstream{W: 0, H: 0}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := UnmarshalBitstream(data)
+		if err != nil {
+			return
+		}
+		re := marshalBitstream(b)
+		b2, err := UnmarshalBitstream(re)
+		if err != nil {
+			t.Fatalf("re-marshaled bitstream does not parse: %v", err)
+		}
+		if b2.W != b.W || b2.H != b.H || len(b2.Frames) != len(b.Frames) {
+			t.Fatalf("round trip shape changed: %dx%d/%d → %dx%d/%d",
+				b.W, b.H, len(b.Frames), b2.W, b2.H, len(b2.Frames))
+		}
+		for i := range b.Frames {
+			if b2.Types[i] != b.Types[i] || !bytes.Equal(b2.Frames[i], b.Frames[i]) {
+				t.Fatalf("round trip frame %d changed", i)
+			}
+		}
+	})
+}
+
+// FuzzManifestJSON fuzzes the manifest decode path the client trusts: any
+// JSON that decodes into a Manifest must re-encode, and the re-encoded
+// form must be a fixpoint (decode → encode → decode is identity). This is
+// the property the fetch layer relies on when it persists and replays
+// manifests.
+func FuzzManifestJSON(f *testing.F) {
+	man := Manifest{
+		Video: "RS", FPS: 30, FullW: 192, FullH: 96, FOVW: 48, FOVH: 48,
+		FOVXDeg: 130, FOVYDeg: 130, SegmentFrames: 30,
+		Segments: []SegmentInfo{{
+			Index: 0, Frames: 30, OrigBytes: 1234,
+			Clusters: []ClusterInfo{{ID: 0, Bytes: 567, Meta: []FrameMeta{{Yaw: 0.5, Pitch: -0.25}}}},
+		}},
+		Report: IngestReport{DetectorInvocations: 3, PreRenderedFrames: 30},
+	}
+	seed, err := json.Marshal(man)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"video":"x","segments":null}`))
+	f.Add([]byte(`{"segments":[{"clusters":[{"meta":[{"yaw":1e308}]}]}]}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"fps":-1,"segments":[{"index":-9,"frames":0,"clusters":[]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("decoded manifest does not re-encode: %v", err)
+		}
+		var m2 Manifest
+		if err := json.Unmarshal(out, &m2); err != nil {
+			t.Fatalf("re-encoded manifest does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("manifest decode/encode not a fixpoint:\n in: %+v\nout: %+v", m, m2)
+		}
+	})
+}

@@ -6,26 +6,59 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"evr/internal/scene"
 	"evr/internal/store"
+	"evr/internal/telemetry"
 )
 
 // Service is the EVR streaming server: ingested videos plus their SAS
 // store, exposed over HTTP. It distinguishes the two client request types
 // of §5.3 — FOV-video requests at segment boundaries and original-segment
-// requests on FOV misses.
+// requests on FOV misses. Between the handlers and the store sits the
+// multi-user serving layer: a bounded LRU response cache with singleflight
+// coalescing (hot payloads are marshaled once, not per request) and an
+// admission-control cap that sheds excess segment load as 503s.
 type Service struct {
 	mu        sync.RWMutex
 	store     *store.Store
 	manifests map[string]*Manifest
 	metrics   *Metrics
+
+	opts      ServiceOptions
+	cache     *respCache    // nil when RespCacheBytes ≤ 0
+	inflight  chan struct{} // nil when MaxInFlight ≤ 0
+	throttled *telemetry.Counter
 }
 
-// NewService returns an empty service backed by the given store.
+// NewService returns an empty service backed by the given store, with the
+// default serving options (64 MiB response cache, no admission cap).
 func NewService(st *store.Store) *Service {
-	return &Service{store: st, manifests: make(map[string]*Manifest), metrics: newMetrics()}
+	return NewServiceOpts(st, DefaultServiceOptions())
+}
+
+// NewServiceOpts returns an empty service with explicit serving options.
+func NewServiceOpts(st *store.Store, opts ServiceOptions) *Service {
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
+	m := newMetrics()
+	s := &Service{
+		store:     st,
+		manifests: make(map[string]*Manifest),
+		metrics:   m,
+		opts:      opts,
+		cache:     newRespCache(opts.RespCacheBytes, m.Registry()),
+	}
+	m.reg.SetHelp(promThrottled, "segment requests shed by admission control (503)")
+	s.throttled = m.reg.Counter(promThrottled)
+	if opts.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInFlight)
+	}
+	return s
 }
 
 // Metrics exposes the service's request counters.
@@ -34,7 +67,24 @@ func (s *Service) Metrics() *Metrics { return s.metrics }
 // Store exposes the backing SAS store.
 func (s *Service) Store() *store.Store { return s.store }
 
-// IngestVideo runs the ingest pipeline and publishes the video.
+// Options returns the serving options the service was built with.
+func (s *Service) Options() ServiceOptions { return s.opts }
+
+// RespCacheStats snapshots the response cache. ok is false when the cache
+// is disabled.
+func (s *Service) RespCacheStats() (stats RespCacheStats, ok bool) {
+	if s.cache == nil {
+		return RespCacheStats{}, false
+	}
+	return s.cache.stats(), true
+}
+
+// Throttled returns how many segment requests admission control has shed.
+func (s *Service) Throttled() int64 { return s.throttled.Value() }
+
+// IngestVideo runs the ingest pipeline and publishes the video. Cached
+// responses of a previous ingest of the same video are purged so a
+// republish is immediately visible.
 func (s *Service) IngestVideo(v scene.VideoSpec, cfg IngestConfig) (*Manifest, error) {
 	man, err := Ingest(v, cfg, s.store)
 	if err != nil {
@@ -43,6 +93,9 @@ func (s *Service) IngestVideo(v scene.VideoSpec, cfg IngestConfig) (*Manifest, e
 	s.mu.Lock()
 	s.manifests[v.Name] = man
 	s.mu.Unlock()
+	if s.cache != nil {
+		s.cache.purgeVideo(v.Name)
+	}
 	return man, nil
 }
 
@@ -75,7 +128,7 @@ func (s *Service) Videos() []string {
 //	GET /v/{video}/fovmeta/{seg}/{c} → JSON per-frame metadata
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /metrics", s.metrics.serveMetrics)
+	mux.HandleFunc("GET /metrics", s.serveMetricsHTTP)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, map[string]any{"ok": true, "videos": len(s.Videos())}) //nolint:errcheck // no endpoint counter for healthz
 	})
@@ -94,60 +147,160 @@ func (s *Service) Handler() http.Handler {
 			s.metrics.noteWriteError("manifest")
 		}
 	}))
-	mux.HandleFunc("GET /v/{video}/orig/{seg}", s.metrics.instrument("orig", func(w http.ResponseWriter, r *http.Request) {
-		seg, err := strconv.Atoi(r.PathValue("seg"))
-		if err != nil {
-			http.Error(w, "bad segment", http.StatusBadRequest)
+	mux.HandleFunc("GET /v/{video}/orig/{seg}", s.metrics.instrument("orig", s.segmentHandler("orig", respOrig)))
+	mux.HandleFunc("GET /v/{video}/fov/{seg}/{cluster}", s.metrics.instrument("fov", s.segmentHandler("fov", respFOV)))
+	mux.HandleFunc("GET /v/{video}/fovmeta/{seg}/{cluster}", s.metrics.instrument("fovmeta", s.segmentHandler("fovmeta", respFOVMeta)))
+	return mux
+}
+
+// segmentHandler serves one of the three segment payload shapes through
+// admission control and the response cache.
+func (s *Service) segmentHandler(endpoint string, kind respKind) http.HandlerFunc {
+	contentType := "application/octet-stream"
+	if kind == respFOVMeta {
+		contentType = "application/json"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		seg, ok := pathIndex(w, r, "seg")
+		if !ok {
 			return
 		}
-		data, _, ok := s.store.Get(origKey(r.PathValue("video"), seg))
+		cluster := 0
+		if kind != respOrig {
+			if cluster, ok = pathIndex(w, r, "cluster"); !ok {
+				return
+			}
+		}
+		if !s.admit(w) {
+			return
+		}
+		defer s.release()
+		key := respKey{video: r.PathValue("video"), seg: seg, cluster: cluster, kind: kind}
+		data, ok := s.payload(key)
 		if !ok {
 			http.NotFound(w, r)
 			return
 		}
-		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Type", contentType)
 		if _, err := w.Write(data); err != nil {
 			// Nothing to send the client anymore, but a half-delivered
 			// segment is exactly what the fetch layer's retries mask —
 			// surface it in the metrics instead of dropping it.
-			s.metrics.noteWriteError("orig")
+			s.metrics.noteWriteError(endpoint)
 		}
-	}))
-	mux.HandleFunc("GET /v/{video}/fov/{seg}/{cluster}", s.metrics.instrument("fov", func(w http.ResponseWriter, r *http.Request) {
-		seg, err1 := strconv.Atoi(r.PathValue("seg"))
-		cl, err2 := strconv.Atoi(r.PathValue("cluster"))
-		if err1 != nil || err2 != nil {
-			http.Error(w, "bad path", http.StatusBadRequest)
-			return
+	}
+}
+
+// payload returns one segment payload, through the response cache when it
+// is enabled (hot payloads skip the store read and its copy; concurrent
+// identical misses coalesce into one load).
+func (s *Service) payload(key respKey) ([]byte, bool) {
+	load := func() ([]byte, bool) {
+		if s.opts.StoreDelay > 0 {
+			time.Sleep(s.opts.StoreDelay)
 		}
-		data, _, ok := s.store.Get(fovKey(r.PathValue("video"), seg, cl))
+		var sk string
+		if key.kind == respOrig {
+			sk = origKey(key.video, key.seg)
+		} else {
+			sk = fovKey(key.video, key.seg, key.cluster)
+		}
+		data, meta, ok := s.store.Get(sk)
 		if !ok {
-			http.NotFound(w, r)
-			return
+			return nil, false
 		}
-		w.Header().Set("Content-Type", "application/octet-stream")
-		if _, err := w.Write(data); err != nil {
-			s.metrics.noteWriteError("fov")
+		if key.kind == respFOVMeta {
+			return meta, true
 		}
-	}))
-	mux.HandleFunc("GET /v/{video}/fovmeta/{seg}/{cluster}", s.metrics.instrument("fovmeta", func(w http.ResponseWriter, r *http.Request) {
-		seg, err1 := strconv.Atoi(r.PathValue("seg"))
-		cl, err2 := strconv.Atoi(r.PathValue("cluster"))
-		if err1 != nil || err2 != nil {
-			http.Error(w, "bad path", http.StatusBadRequest)
-			return
+		return data, true
+	}
+	if s.cache == nil {
+		return load()
+	}
+	return s.cache.get(key, load)
+}
+
+// admit reserves an in-flight slot, or sheds the request with 503 +
+// Retry-After when the cap is reached. Always admits when no cap is set.
+func (s *Service) admit(w http.ResponseWriter) bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		s.throttled.Inc()
+		secs := int(s.opts.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
 		}
-		_, meta, ok := s.store.Get(fovKey(r.PathValue("video"), seg, cl))
-		if !ok {
-			http.NotFound(w, r)
-			return
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, "segment request capacity exceeded", http.StatusServiceUnavailable)
+		return false
+	}
+}
+
+// release frees the in-flight slot admit reserved.
+func (s *Service) release() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+// pathIndex parses a canonical non-negative decimal path index ({seg} or
+// {cluster}): ASCII digits only — no sign, no leading zeros, no smuggled
+// separators. A value containing a path separator (only reachable
+// percent-encoded, e.g. /orig/0%2Fextra) is trailing garbage and gets 404
+// like its literal counterpart; any other malformed value gets 400.
+func pathIndex(w http.ResponseWriter, r *http.Request, name string) (int, bool) {
+	v := r.PathValue(name)
+	if strings.Contains(v, "/") {
+		http.NotFound(w, r)
+		return 0, false
+	}
+	if !canonicalIndex(v) {
+		http.Error(w, "bad "+name, http.StatusBadRequest)
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		http.Error(w, "bad "+name, http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
+}
+
+// canonicalIndex reports whether v is the canonical decimal form of a
+// non-negative int: "0", or a digit string without a leading zero, short
+// enough to never overflow (segments and clusters are small integers).
+func canonicalIndex(v string) bool {
+	if v == "" || len(v) > 9 {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		if v[i] < '0' || v[i] > '9' {
+			return false
 		}
-		w.Header().Set("Content-Type", "application/json")
-		if _, err := w.Write(meta); err != nil {
-			s.metrics.noteWriteError("fovmeta")
-		}
-	}))
-	return mux
+	}
+	return !(len(v) > 1 && v[0] == '0')
+}
+
+// serveMetricsHTTP serves the metrics snapshot, extending the per-endpoint
+// JSON view with the response-cache and admission counters. ?format=prom
+// keeps the Prometheus text exposition (those series live on the same
+// registry and are exported there automatically).
+func (s *Service) serveMetricsHTTP(w http.ResponseWriter, r *http.Request) {
+	if r != nil && r.URL.Query().Get("format") == "prom" {
+		s.metrics.serveMetrics(w, r)
+		return
+	}
+	snap := s.metrics.Snapshot()
+	if stats, ok := s.RespCacheStats(); ok {
+		snap.RespCache = &stats
+	}
+	snap.Throttled = s.Throttled()
+	writeJSON(w, snap) //nolint:errcheck // no endpoint counter for /metrics itself
 }
 
 // writeJSON encodes to a buffer before touching the ResponseWriter: an

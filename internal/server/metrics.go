@@ -47,10 +47,14 @@ type endpointStats struct {
 	InFlight    int64   `json:"inFlight"`
 }
 
-// MetricsSnapshot is the JSON shape served at /metrics.
+// MetricsSnapshot is the JSON shape served at /metrics. RespCache and
+// Throttled are filled by the service (they live above the per-endpoint
+// layer); RespCache is omitted when the response cache is disabled.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                   `json:"uptimeSeconds"`
 	Endpoints     map[string]*endpointStats `json:"endpoints"`
+	RespCache     *RespCacheStats           `json:"respCache,omitempty"`
+	Throttled     int64                     `json:"throttled"`
 }
 
 // Prometheus metric names for the per-endpoint series.

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"evr/internal/telemetry"
+)
+
+// ServiceOptions tunes the serving path for multi-user load: the response
+// cache that keeps hot encoded payloads out of the store, and the
+// admission-control knob that sheds load instead of queueing it. The zero
+// value disables both — the seed behavior of a cold store.Get per request.
+type ServiceOptions struct {
+	// RespCacheBytes bounds the server-side response cache of encoded
+	// segment payloads (originals, FOV videos, FOV metadata), in bytes of
+	// cached payload. ≤ 0 disables the cache; concurrent identical misses
+	// then each hit the store on their own.
+	RespCacheBytes int64
+	// MaxInFlight caps concurrently served segment requests (orig, fov,
+	// fovmeta — the payload endpoints; manifest and metrics are exempt).
+	// Beyond the cap the server answers 503 with a Retry-After header
+	// instead of queueing, so overload degrades into client backoff rather
+	// than unbounded goroutine pile-up. ≤ 0 means unlimited.
+	MaxInFlight int
+	// RetryAfter is the hint advertised on 503 responses. 0 = 1 s.
+	RetryAfter time.Duration
+	// StoreDelay adds synthetic latency to every store read that misses
+	// the response cache. It models a remote or disk-backed SAS store for
+	// load tests (the in-memory store is otherwise too fast to expose
+	// coalescing and admission behavior). 0 = none.
+	StoreDelay time.Duration
+}
+
+// DefaultServiceOptions enables a 64 MiB response cache, no admission cap,
+// and the 1 s Retry-After hint.
+func DefaultServiceOptions() ServiceOptions {
+	return ServiceOptions{RespCacheBytes: 64 << 20, RetryAfter: time.Second}
+}
+
+// RespCacheStats is a point-in-time view of the response cache.
+type RespCacheStats struct {
+	Hits      int64 `json:"hits"`      // served straight from the cache
+	Misses    int64 `json:"misses"`    // loaded from the store (one per flight)
+	Coalesced int64 `json:"coalesced"` // requests that joined an in-flight identical miss
+	Evictions int64 `json:"evictions"` // entries dropped to stay under the byte budget
+	Entries   int64 `json:"entries"`   // live cached payloads
+	Bytes     int64 `json:"bytes"`     // live cached payload bytes
+	MaxBytes  int64 `json:"maxBytes"`  // configured budget
+}
+
+// respKind distinguishes the three payload shapes sharing the cache.
+type respKind uint8
+
+const (
+	respOrig respKind = iota
+	respFOV
+	respFOVMeta
+)
+
+// respKey identifies one cacheable response payload: (video, seg, cluster)
+// plus which of the segment's payloads it is. Originals use cluster 0.
+type respKey struct {
+	video   string
+	seg     int
+	cluster int
+	kind    respKind
+}
+
+// respFlight is one in-flight store load that concurrent identical
+// requests share instead of issuing their own.
+type respFlight struct {
+	done chan struct{}
+	data []byte
+	ok   bool
+}
+
+// respCache is a bounded LRU of encoded response payloads with
+// singleflight coalescing of concurrent identical misses. Entries are
+// immutable byte slices served to many requests concurrently; eviction is
+// size-based (payload bytes, not entry count, because FOV metadata is ~KBs
+// while segments are ~MBs). Safe for concurrent use.
+type respCache struct {
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	coalesced *telemetry.Counter
+	evictions *telemetry.Counter
+	entriesG  *telemetry.Gauge
+	bytesG    *telemetry.Gauge
+
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used; values are *respNode
+	items    map[respKey]*list.Element
+	flights  map[respKey]*respFlight
+}
+
+type respNode struct {
+	key  respKey
+	data []byte
+}
+
+// Prometheus metric names for the response cache and admission control.
+const (
+	promRespHits      = "evr_respcache_hits_total"
+	promRespMisses    = "evr_respcache_misses_total"
+	promRespCoalesced = "evr_respcache_coalesced_total"
+	promRespEvictions = "evr_respcache_evictions_total"
+	promRespEntries   = "evr_respcache_entries"
+	promRespBytes     = "evr_respcache_bytes"
+	promThrottled     = "evr_http_throttled_total"
+)
+
+// newRespCache builds a cache with the given payload-byte budget, hanging
+// its counters on the service's telemetry registry. maxBytes ≤ 0 returns
+// nil; the nil receiver is not tolerated — callers gate on it.
+func newRespCache(maxBytes int64, reg *telemetry.Registry) *respCache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	reg.SetHelp(promRespHits, "segment responses served from the response cache")
+	reg.SetHelp(promRespMisses, "segment responses loaded from the store")
+	reg.SetHelp(promRespCoalesced, "segment requests that joined an in-flight identical load")
+	reg.SetHelp(promRespEvictions, "response-cache entries evicted under the byte budget")
+	reg.SetHelp(promRespEntries, "live response-cache entries")
+	reg.SetHelp(promRespBytes, "live response-cache payload bytes")
+	return &respCache{
+		hits:      reg.Counter(promRespHits),
+		misses:    reg.Counter(promRespMisses),
+		coalesced: reg.Counter(promRespCoalesced),
+		evictions: reg.Counter(promRespEvictions),
+		entriesG:  reg.Gauge(promRespEntries),
+		bytesG:    reg.Gauge(promRespBytes),
+		maxBytes:  maxBytes,
+		order:     list.New(),
+		items:     make(map[respKey]*list.Element),
+		flights:   make(map[respKey]*respFlight),
+	}
+}
+
+// get returns the payload for key, serving from cache when possible,
+// otherwise loading it exactly once per concurrent wave: the first miss
+// runs load, every concurrent identical request waits on that flight. A
+// load reporting !ok (key not in the store) is not cached — a later
+// request retries — but concurrent waiters share the negative result.
+func (c *respCache) get(key respKey, load func() ([]byte, bool)) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		data := el.Value.(*respNode).data
+		c.mu.Unlock()
+		c.hits.Inc()
+		return data, true
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Inc()
+		<-fl.done
+		return fl.data, fl.ok
+	}
+	fl := &respFlight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+	c.misses.Inc()
+
+	fl.data, fl.ok = load()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if fl.ok {
+		c.insertLocked(key, fl.data)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.data, fl.ok
+}
+
+// insertLocked adds an entry and evicts LRU entries past the byte budget.
+// Payloads larger than the whole budget are served but never cached.
+func (c *respCache) insertLocked(key respKey, data []byte) {
+	if int64(len(data)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		// A purge between flight start and finish can race a re-ingest;
+		// keep the freshest payload.
+		node := el.Value.(*respNode)
+		c.bytes += int64(len(data)) - int64(len(node.data))
+		node.data = data
+		c.order.MoveToFront(el)
+	} else {
+		c.items[key] = c.order.PushFront(&respNode{key: key, data: data})
+		c.bytes += int64(len(data))
+	}
+	for c.bytes > c.maxBytes {
+		oldest := c.order.Back()
+		node := oldest.Value.(*respNode)
+		c.order.Remove(oldest)
+		delete(c.items, node.key)
+		c.bytes -= int64(len(node.data))
+		c.evictions.Inc()
+	}
+	c.entriesG.Set(int64(c.order.Len()))
+	c.bytesG.Set(c.bytes)
+}
+
+// purgeVideo drops every cached payload of one video — called on
+// (re-)ingest so stale responses never outlive a republish.
+func (c *respCache) purgeVideo(video string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if node := el.Value.(*respNode); node.key.video == video {
+			c.order.Remove(el)
+			delete(c.items, node.key)
+			c.bytes -= int64(len(node.data))
+		}
+		el = next
+	}
+	c.entriesG.Set(int64(c.order.Len()))
+	c.bytesG.Set(c.bytes)
+}
+
+// stats snapshots the cache counters.
+func (c *respCache) stats() RespCacheStats {
+	c.mu.Lock()
+	entries := int64(c.order.Len())
+	bytes := c.bytes
+	maxBytes := c.maxBytes
+	c.mu.Unlock()
+	return RespCacheStats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Coalesced: c.coalesced.Value(),
+		Evictions: c.evictions.Value(),
+		Entries:   entries,
+		Bytes:     bytes,
+		MaxBytes:  maxBytes,
+	}
+}

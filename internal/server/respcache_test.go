@@ -1,0 +1,217 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"evr/internal/telemetry"
+)
+
+func newTestRespCache(maxBytes int64) *respCache {
+	return newRespCache(maxBytes, telemetry.NewRegistry())
+}
+
+func rk(video string, seg int) respKey {
+	return respKey{video: video, seg: seg, kind: respOrig}
+}
+
+func TestRespCacheHitAfterMiss(t *testing.T) {
+	c := newTestRespCache(1 << 20)
+	loads := 0
+	load := func() ([]byte, bool) { loads++; return []byte("payload"), true }
+	for i := 0; i < 3; i++ {
+		data, ok := c.get(rk("v", 0), load)
+		if !ok || string(data) != "payload" {
+			t.Fatalf("get %d = %q, %v", i, data, ok)
+		}
+	}
+	if loads != 1 {
+		t.Errorf("loader ran %d times, want 1", loads)
+	}
+	st := c.stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 7 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRespCacheNegativeResultNotCached(t *testing.T) {
+	c := newTestRespCache(1 << 20)
+	loads := 0
+	miss := func() ([]byte, bool) { loads++; return nil, false }
+	if _, ok := c.get(rk("v", 0), miss); ok {
+		t.Fatal("missing key reported ok")
+	}
+	if _, ok := c.get(rk("v", 0), miss); ok {
+		t.Fatal("missing key reported ok on retry")
+	}
+	if loads != 2 {
+		t.Errorf("negative result was cached: %d loads, want 2", loads)
+	}
+	if st := c.stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("negative entry leaked into the cache: %+v", st)
+	}
+}
+
+func TestRespCacheSizeBasedEviction(t *testing.T) {
+	c := newTestRespCache(100)
+	payload := make([]byte, 40)
+	fill := func() ([]byte, bool) { return payload, true }
+	mustHit := func(seg int) {
+		t.Helper()
+		c.get(rk("v", seg), func() ([]byte, bool) { t.Errorf("seg %d missed, want hit", seg); return payload, true })
+	}
+	c.get(rk("v", 0), fill)
+	c.get(rk("v", 1), fill)
+	mustHit(0) // promote seg 0: seg 1 is now LRU
+	c.get(rk("v", 2), fill)
+	// 3×40 = 120 > 100: exactly the LRU entry (seg 1) must be gone.
+	st := c.stats()
+	if st.Entries != 2 || st.Bytes != 80 || st.Evictions != 1 {
+		t.Fatalf("after overflow: %+v", st)
+	}
+	mustHit(0)
+	mustHit(2)
+	reloaded := false
+	c.get(rk("v", 1), func() ([]byte, bool) { reloaded = true; return payload, true })
+	if !reloaded {
+		t.Error("evicted entry still served from cache")
+	}
+}
+
+func TestRespCacheOversizedPayloadServedNotCached(t *testing.T) {
+	c := newTestRespCache(10)
+	big := make([]byte, 11)
+	loads := 0
+	load := func() ([]byte, bool) { loads++; return big, true }
+	for i := 0; i < 2; i++ {
+		data, ok := c.get(rk("v", 0), load)
+		if !ok || len(data) != 11 {
+			t.Fatalf("oversized payload not served: %d bytes, %v", len(data), ok)
+		}
+	}
+	if loads != 2 {
+		t.Errorf("oversized payload cached (%d loads)", loads)
+	}
+	if st := c.stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("oversized payload counted: %+v", st)
+	}
+}
+
+// TestRespCacheSingleflightCoalesces launches N concurrent requests for
+// the same cold key against a loader that blocks until every goroutine has
+// started: exactly one load may run, and the other N-1 requests must be
+// accounted as coalesced waits.
+func TestRespCacheSingleflightCoalesces(t *testing.T) {
+	const n = 16
+	c := newTestRespCache(1 << 20)
+	var loads atomic.Int64
+	started := make(chan struct{}, n)
+	release := make(chan struct{})
+	load := func() ([]byte, bool) {
+		loads.Add(1)
+		<-release // hold the flight open until all requesters are in
+		return []byte("shared"), true
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			data, ok := c.get(rk("v", 7), load)
+			if !ok || string(data) != "shared" {
+				t.Errorf("coalesced get = %q, %v", data, ok)
+			}
+		}()
+	}
+	// Wait for every goroutine to be running, then give the non-leaders a
+	// moment to reach the flight before releasing the loader.
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	for c.coalesced.Value() != n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := loads.Load(); got != 1 {
+		t.Errorf("%d loads ran, want 1", got)
+	}
+	st := c.stats()
+	if st.Misses != 1 || st.Coalesced != n-1 {
+		t.Errorf("misses=%d coalesced=%d, want 1 and %d", st.Misses, st.Coalesced, n-1)
+	}
+	if st.Hits != 0 {
+		t.Errorf("hits=%d before any cached serve", st.Hits)
+	}
+}
+
+func TestRespCachePurgeVideo(t *testing.T) {
+	c := newTestRespCache(1 << 20)
+	for seg := 0; seg < 3; seg++ {
+		c.get(rk("a", seg), func() ([]byte, bool) { return []byte{1, 2, 3}, true })
+		c.get(rk("b", seg), func() ([]byte, bool) { return []byte{4, 5}, true })
+	}
+	c.purgeVideo("a")
+	st := c.stats()
+	if st.Entries != 3 || st.Bytes != 6 {
+		t.Fatalf("after purge: %+v", st)
+	}
+	reloads := 0
+	for seg := 0; seg < 3; seg++ {
+		c.get(rk("a", seg), func() ([]byte, bool) { reloads++; return []byte{9}, true })
+		c.get(rk("b", seg), func() ([]byte, bool) { t.Error("purge dropped another video's entry"); return nil, false })
+	}
+	if reloads != 3 {
+		t.Errorf("purged video reloaded %d of 3 entries", reloads)
+	}
+}
+
+// TestRespCacheConcurrentChurn hammers a small cache from many goroutines
+// under -race: hits, misses, evictions, and purges all interleaving.
+func TestRespCacheConcurrentChurn(t *testing.T) {
+	c := newTestRespCache(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				seg := (g + i) % 12
+				video := fmt.Sprintf("v%d", i%3)
+				data, ok := c.get(respKey{video: video, seg: seg, kind: respFOV}, func() ([]byte, bool) {
+					return make([]byte, 16+seg), true
+				})
+				if !ok || len(data) != 16+seg {
+					t.Errorf("churn get seg %d: %d bytes, %v", seg, len(data), ok)
+					return
+				}
+				if i%50 == 0 {
+					c.purgeVideo(video)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.stats()
+	if st.Bytes > 256 {
+		t.Errorf("cache grew past budget: %+v", st)
+	}
+	if st.Hits+st.Misses+st.Coalesced != 8*200 {
+		t.Errorf("accounting leak: hits+misses+coalesced = %d, want %d", st.Hits+st.Misses+st.Coalesced, 8*200)
+	}
+}
+
+func TestNewRespCacheDisabled(t *testing.T) {
+	if c := newTestRespCache(0); c != nil {
+		t.Error("zero budget built a cache")
+	}
+	if c := newTestRespCache(-5); c != nil {
+		t.Error("negative budget built a cache")
+	}
+}

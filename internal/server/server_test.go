@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"io"
 	"math"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -221,23 +220,6 @@ func TestHTTPEndpoints(t *testing.T) {
 
 func itoa(v int) string {
 	return string(rune('0' + v))
-}
-
-func TestUnmarshalBitstreamFuzz(t *testing.T) {
-	rng := rand.New(rand.NewSource(120))
-	for trial := 0; trial < 300; trial++ {
-		n := rng.Intn(64)
-		data := make([]byte, n)
-		rng.Read(data)
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					t.Fatalf("UnmarshalBitstream panicked on %d bytes: %v", n, r)
-				}
-			}()
-			UnmarshalBitstream(data)
-		}()
-	}
 }
 
 // TestWriteJSONEncodeFailureIsCleanError feeds writeJSON a value the JSON
