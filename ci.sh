@@ -1,21 +1,31 @@
 #!/bin/sh
 # CI gate: format check, vet, build, and run the full test suite under the
-# race detector. The parallel render engine (pt.RenderParallel,
+# race detector (with shuffled test order, so hidden inter-test ordering
+# dependencies surface). The parallel render engine (pt.RenderParallel,
 # pte.RenderParallel, server ingest fan-out), the client fetch layer
 # (prefetcher + singleflight + LRU cache), the telemetry subsystem
 # (registry/histogram/tracer), and the multi-user serving layer (response
 # cache + singleflight + admission control, soaked by loadgen's 32-session
 # test) must stay race-clean; every PR runs this before merge. The
 # benchmark smoke run keeps the telemetry disabled-path overhead benchmarks
-# compiling and executable without timing them, and the fuzz smoke gives
-# the wire-format and manifest fuzzers a short budget beyond their checked
-# in seeds.
+# compiling and executable without timing them, and the fuzz smokes give
+# the wire-format, manifest, and head-trace CSV fuzzers a short budget
+# beyond their checked-in seeds.
+#
+# The conformance gates pin the three render implementations against the
+# committed golden manifest: the fast subset first (quick signal), then the
+# full corpus with the regenerate-and-diff byte-identity check and the
+# metamorphic property suite (see internal/conformance and cmd/evrconform;
+# regenerate goldens with `go run ./cmd/evrconform -update`).
 set -eux
 
 test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
-go test -race ./...
+go test -race -shuffle=on ./...
 go test ./internal/telemetry -run=NONE -bench=TelemetryOverhead -benchtime=1x
 go test ./internal/server -run='^$' -fuzz=FuzzUnmarshalBitstream -fuzztime=5s
 go test ./internal/server -run='^$' -fuzz=FuzzManifestJSON -fuzztime=5s
+go test ./internal/headtrace -run='^$' -fuzz=FuzzHeadtraceCSV -fuzztime=5s
+go run ./cmd/evrconform -fast
+go run ./cmd/evrconform

@@ -28,6 +28,7 @@ import (
 	"evr/internal/abr"
 	"evr/internal/capture"
 	"evr/internal/client"
+	"evr/internal/conformance"
 	"evr/internal/core"
 	"evr/internal/experiments"
 	"evr/internal/headtrace"
@@ -217,6 +218,36 @@ func SixCameraRig(sensorRes int) Rig { return capture.SixCameraRig(sensorRes) }
 
 // DefaultLadder returns the three-rung ABR ladder.
 func DefaultLadder() Ladder { return abr.DefaultLadder() }
+
+// Conformance: the differential + metamorphic testing oracle that pins the
+// float reference, the fixed-point PTE datapath, and the GPU model against
+// each other (see internal/conformance and cmd/evrconform).
+type (
+	// ConformanceCase is one (projection, filter, pose) corpus entry.
+	ConformanceCase = conformance.Case
+	// ConformanceManifest is an executed corpus: golden checksums, measured
+	// divergence metrics, and per-class error budgets.
+	ConformanceManifest = conformance.Manifest
+	// ConformanceBudget is the acceptance envelope of one divergence class.
+	ConformanceBudget = conformance.Budget
+)
+
+// ConformanceCorpus returns the full deterministic conformance case list.
+func ConformanceCorpus() []ConformanceCase { return conformance.Corpus() }
+
+// ConformanceFastCorpus returns the quick-gate subset of the corpus.
+func ConformanceFastCorpus() []ConformanceCase { return conformance.FastCorpus() }
+
+// RunConformance sweeps the cases through all three render implementations,
+// enforcing byte-identity invariants and measuring fixed-point divergence.
+func RunConformance(cases []ConformanceCase) (*ConformanceManifest, error) {
+	return conformance.Generate(cases)
+}
+
+// RunConformanceMetamorphic executes the oracle-free metamorphic properties
+// (identity passthrough, yaw equivariance, seam continuity, projection round
+// trips) and returns the violations (empty = all hold).
+func RunConformanceMetamorphic() []string { return conformance.RunMetamorphic() }
 
 // ExperimentTable is one regenerated paper table/figure.
 type ExperimentTable = experiments.Table

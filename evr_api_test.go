@@ -173,3 +173,22 @@ func TestPublicAPIAblations(t *testing.T) {
 		t.Error("facade ladder wrong")
 	}
 }
+
+// TestPublicAPIConformance drives the conformance oracle through the
+// facade: run the fast subset and check the budgets it reports.
+func TestPublicAPIConformance(t *testing.T) {
+	fast := evr.ConformanceFastCorpus()
+	if len(fast) == 0 || len(fast) >= len(evr.ConformanceCorpus()) {
+		t.Fatalf("fast corpus has %d cases of %d", len(fast), len(evr.ConformanceCorpus()))
+	}
+	m, err := evr.RunConformance(fast[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.BudgetViolations(); len(v) > 0 {
+		t.Fatalf("facade conformance run violates budgets: %v", v)
+	}
+	if m.FormatTable() == "" {
+		t.Error("empty conformance table rendering")
+	}
+}

@@ -1,0 +1,36 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetamorphicProperties runs each oracle-free property as its own
+// subtest so a regression names the broken invariant directly.
+func TestMetamorphicProperties(t *testing.T) {
+	checks := []struct {
+		name  string
+		check func() error
+	}{
+		{"identity-passthrough", CheckIdentityPassthrough},
+		{"yaw-equivariance", CheckYawEquivariance},
+		{"seam-continuity", CheckSeamContinuity},
+		{"projection-round-trip", CheckProjectionRoundTrip},
+		{"pte-passthrough", CheckPassthrough},
+	}
+	for _, c := range checks {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.check(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRunMetamorphic pins the aggregate entry point the evrconform gate
+// calls.
+func TestRunMetamorphic(t *testing.T) {
+	if v := RunMetamorphic(); len(v) > 0 {
+		t.Fatalf("metamorphic violations:\n  %s", strings.Join(v, "\n  "))
+	}
+}

@@ -65,8 +65,17 @@ func (o Orientation) Lerp(p Orientation, t float64) Orientation {
 	}.Normalize()
 }
 
-// WrapAngle wraps a into (-π, π].
+// WrapAngle wraps a into (-π, π]. Non-finite input returns NaN. Magnitudes
+// beyond ±1e3 rad are range-reduced with math.Mod first; the iterative
+// reduction is kept for the common small range because its float rounding is
+// what every existing caller (and the byte-exact render goldens) observe.
 func WrapAngle(a float64) float64 {
+	if math.IsNaN(a) || math.IsInf(a, 0) {
+		return math.NaN()
+	}
+	if a > 1e3 || a < -1e3 {
+		a = math.Mod(a, 2*math.Pi)
+	}
 	for a > math.Pi {
 		a -= 2 * math.Pi
 	}

@@ -1,0 +1,36 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWrapAngleExtremes pins the hardened WrapAngle: non-finite input must
+// not hang (it used to loop forever on +Inf) and huge finite magnitudes must
+// reduce in bounded time instead of iterating |a|/2π times.
+func TestWrapAngleExtremes(t *testing.T) {
+	for _, a := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		if got := WrapAngle(a); !math.IsNaN(got) {
+			t.Errorf("WrapAngle(%v) = %v, want NaN", a, got)
+		}
+	}
+	for _, a := range []float64{1e300, -1e300, 1e9, -1e9, 1e4} {
+		got := WrapAngle(a)
+		if !(got > -math.Pi && got <= math.Pi) {
+			t.Errorf("WrapAngle(%v) = %v, outside (-π, π]", a, got)
+		}
+	}
+	// The common range keeps its exact pre-hardening rounding behaviour.
+	for _, a := range []float64{0, 1.5, -1.5, math.Pi, -math.Pi, 3 * math.Pi / 2, -7} {
+		want := a
+		for want > math.Pi {
+			want -= 2 * math.Pi
+		}
+		for want <= -math.Pi {
+			want += 2 * math.Pi
+		}
+		if got := WrapAngle(a); got != want {
+			t.Errorf("WrapAngle(%v) = %v, want %v", a, got, want)
+		}
+	}
+}

@@ -4,10 +4,14 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"evr/internal/geom"
 )
+
+// isFinite reports whether x is neither NaN nor ±Inf.
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // WriteCSV serializes a trace in the dataset layout emitted by cmd/evrgen:
 // a header row followed by (t, yaw_deg, pitch_deg) records at 4-decimal
@@ -58,6 +62,11 @@ func ReadCSV(r io.Reader, video string, fps, user int) (Trace, error) {
 		pitch, err3 := strconv.ParseFloat(rec[2], 64)
 		if err1 != nil || err2 != nil || err3 != nil {
 			return Trace{}, fmt.Errorf("headtrace: row %d unparsable: %v", i+1, rec)
+		}
+		// ParseFloat accepts "NaN" and "Inf", which are never valid IMU
+		// samples and would poison every downstream angle computation.
+		if !isFinite(t) || !isFinite(yaw) || !isFinite(pitch) {
+			return Trace{}, fmt.Errorf("headtrace: row %d has non-finite value: %v", i+1, rec)
 		}
 		tr.Samples = append(tr.Samples, Sample{
 			T: t,

@@ -1,0 +1,58 @@
+package headtrace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzHeadtraceCSV fuzzes the head-trace CSV decode path, which parses
+// files from the public head-movement corpora (i.e. untrusted input).
+// Malformed rows, NaN/Inf angles, and truncated records must surface as
+// errors, never as a panic, a hang, or a trace carrying non-finite angles.
+func FuzzHeadtraceCSV(f *testing.F) {
+	f.Add([]byte("t,yaw_deg,pitch_deg\n0.0000,10.0000,-5.0000\n0.0333,11.0000,-4.5000\n"))
+	f.Add([]byte("t,yaw_deg,pitch_deg\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("t,yaw_deg,pitch_deg\n0,NaN,0\n"))
+	f.Add([]byte("t,yaw_deg,pitch_deg\n0,Inf,0\n"))
+	f.Add([]byte("t,yaw_deg,pitch_deg\n0,0,-Inf\n"))
+	f.Add([]byte("t,yaw_deg,pitch_deg\n0,1e300,0\n"))
+	f.Add([]byte("t,yaw_deg,pitch_deg\n0,1,2,3\n"))
+	f.Add([]byte("t,yaw_deg,pitch_deg\n0,1\n"))
+	f.Add([]byte("t,yaw_deg,pitch_deg\n\"0.1,2.0000,3.00")) // truncated quoted field
+	f.Add([]byte("wrong,header,row\n0,0,0\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data), "fuzz", 30, 1)
+		if err != nil {
+			return
+		}
+		// Every accepted sample must be finite and normalized.
+		for i, s := range tr.Samples {
+			if math.IsNaN(s.T) || math.IsInf(s.T, 0) {
+				t.Fatalf("sample %d: non-finite time %v", i, s.T)
+			}
+			if math.IsNaN(s.O.Yaw) || s.O.Yaw < -math.Pi || s.O.Yaw > math.Pi {
+				t.Fatalf("sample %d: yaw %v outside [-π, π]", i, s.O.Yaw)
+			}
+			if math.IsNaN(s.O.Pitch) || s.O.Pitch < -math.Pi/2 || s.O.Pitch > math.Pi/2 {
+				t.Fatalf("sample %d: pitch %v outside [-π/2, π/2]", i, s.O.Pitch)
+			}
+		}
+		// An accepted trace must survive a serialize→parse round trip
+		// (values re-quantize to 4 decimals, but the shape is preserved).
+		var buf strings.Builder
+		if err := WriteCSV(&buf, tr); err != nil {
+			t.Fatalf("WriteCSV of accepted trace failed: %v", err)
+		}
+		tr2, err := ReadCSV(strings.NewReader(buf.String()), tr.Video, tr.FPS, tr.User)
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if len(tr2.Samples) != len(tr.Samples) {
+			t.Fatalf("round trip lost samples: %d -> %d", len(tr.Samples), len(tr2.Samples))
+		}
+	})
+}

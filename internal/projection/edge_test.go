@@ -1,0 +1,160 @@
+package projection
+
+import (
+	"math"
+	"testing"
+
+	"evr/internal/geom"
+)
+
+// TestWrap01 pins the horizontal wrap of normalized frame coordinates: the
+// ERP longitude axis is periodic, so any real u must land in [0, 1).
+func TestWrap01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{1, 0},
+		{-1, 0},
+		{2, 0},
+		{0.25, 0.25},
+		{-0.25, 0.75},
+		{2.5, 0.5},
+		{-2.75, 0.25},
+		{1e-12, 1e-12},
+	}
+	for _, c := range cases {
+		got := wrap01(c.in)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("wrap01(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if got < 0 || got >= 1 {
+			t.Errorf("wrap01(%v) = %v outside [0, 1)", c.in, got)
+		}
+	}
+}
+
+// TestClamp01v pins the vertical clamp: latitude does not wrap, and the top
+// of the range must stay strictly below 1 so row lookups never index H.
+func TestClamp01v(t *testing.T) {
+	below1 := math.Nextafter(1, 0)
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0},
+		{-1e-300, 0},
+		{0, 0},
+		{0.5, 0.5},
+		{below1, below1},
+		{1, below1},
+		{1.5, below1},
+	}
+	for _, c := range cases {
+		if got := clamp01v(c.in); got != c.want {
+			t.Errorf("clamp01v(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestEACWarpRoundTrip verifies eacWarp/eacUnwarp are inverse bijections of
+// [-1, 1] onto itself, including the endpoints and the center.
+func TestEACWarpRoundTrip(t *testing.T) {
+	if got := eacWarp(0); got != 0 {
+		t.Errorf("eacWarp(0) = %v, want 0", got)
+	}
+	for _, p := range []float64{-1, 1} {
+		if got := eacWarp(p); math.Abs(got-p) > 1e-15 {
+			t.Errorf("eacWarp(%v) = %v, want %v", p, got, p)
+		}
+	}
+	for i := -64; i <= 64; i++ {
+		p := float64(i) / 64
+		q := eacWarp(p)
+		if q < -1-1e-15 || q > 1+1e-15 {
+			t.Errorf("eacWarp(%v) = %v outside [-1, 1]", p, q)
+		}
+		if back := eacUnwarp(q); math.Abs(back-p) > 1e-12 {
+			t.Errorf("eacUnwarp(eacWarp(%v)) = %v, |Δ| = %g", p, back, math.Abs(back-p))
+		}
+		if back := eacWarp(eacUnwarp(p)); math.Abs(back-p) > 1e-12 {
+			t.Errorf("eacWarp(eacUnwarp(%v)) = %v, |Δ| = %g", p, back, math.Abs(back-p))
+		}
+	}
+}
+
+// TestF2CC2FBoundaryConsistency walks every face with face-local coordinates
+// up to and including the shared boundaries. At a boundary F2C may
+// legitimately attribute the position to the neighboring face, but mapping
+// its answer back through C2F must land on the same frame position.
+func TestF2CC2FBoundaryConsistency(t *testing.T) {
+	coords := []float64{0, 1e-12, 0.25, 0.5, 0.75, 1 - 1e-12, 1}
+	for f := FacePosX; f <= FaceNegZ; f++ {
+		for _, fu := range coords {
+			for _, fv := range coords {
+				u, v := C2F(f, fu, fv)
+				f2, gu, gv := F2C(u, v)
+				u2, v2 := C2F(f2, gu, gv)
+				// u is periodic (F2C wraps u=1 to u=0), so compare modulo 1.
+				du := math.Abs(u2 - u)
+				if du > 0.5 {
+					du = 1 - du
+				}
+				if du > 1e-12 || math.Abs(v2-v) > 1e-12 {
+					t.Errorf("face %d (%v,%v): C2F→F2C→C2F moved (%v,%v) → (%v,%v) via face %d",
+						f, fu, fv, u, v, u2, v2, f2)
+				}
+			}
+		}
+	}
+	// Interior points must round-trip to the same face exactly.
+	for f := FacePosX; f <= FaceNegZ; f++ {
+		u, v := C2F(f, 0.5, 0.5)
+		f2, gu, gv := F2C(u, v)
+		if f2 != f || math.Abs(gu-0.5) > 1e-12 || math.Abs(gv-0.5) > 1e-12 {
+			t.Errorf("face %d center: F2C returned face %d (%v, %v)", f, f2, gu, gv)
+		}
+	}
+}
+
+// TestC2SPoles pins the cartesian-to-spherical block at the degenerate
+// directions: the ±Y poles (where longitude is undefined) and the ±Z axis
+// (the forward/backward view directions).
+func TestC2SPoles(t *testing.T) {
+	theta, phi := C2S(geom.Vec3{Y: 1})
+	if phi != math.Pi/2 || math.IsNaN(theta) {
+		t.Errorf("C2S(+Y) = (θ %v, φ %v), want φ = π/2 with finite θ", theta, phi)
+	}
+	theta, phi = C2S(geom.Vec3{Y: -1})
+	if phi != -math.Pi/2 || math.IsNaN(theta) {
+		t.Errorf("C2S(-Y) = (θ %v, φ %v), want φ = -π/2 with finite θ", theta, phi)
+	}
+	theta, phi = C2S(geom.Vec3{Z: 1})
+	if theta != 0 || phi != 0 {
+		t.Errorf("C2S(+Z) = (θ %v, φ %v), want (0, 0)", theta, phi)
+	}
+	theta, phi = C2S(geom.Vec3{Z: -1})
+	if math.Abs(math.Abs(theta)-math.Pi) > 1e-15 || phi != 0 {
+		t.Errorf("C2S(-Z) = (θ %v, φ %v), want (±π, 0)", theta, phi)
+	}
+	// Every projection maps the poles to a consistent sphere point: ToSphere
+	// of ToPlane of the pole direction must return (nearly) the pole.
+	for _, m := range Methods {
+		for _, y := range []float64{1, -1} {
+			d := geom.Vec3{Y: y}
+			u, v := ToPlane(m, d)
+			back := ToSphere(m, u, v)
+			if dot := back.Dot(d); dot < 1-1e-9 {
+				t.Errorf("%v pole Y=%v: round trip drifted, dot = %v", m, y, dot)
+			}
+		}
+	}
+}
+
+// TestERPSeamContinuity verifies the two sides of the ERP longitude seam map
+// to (nearly) the same sphere direction: u just below 1 and u = 0 are
+// adjacent columns of the panorama.
+func TestERPSeamContinuity(t *testing.T) {
+	for _, v := range []float64{0.1, 0.5, 0.9} {
+		a := ToSphere(ERP, 1-1e-12, v)
+		b := ToSphere(ERP, 0, v)
+		if dot := a.Dot(b); dot < 1-1e-9 {
+			t.Errorf("seam at v=%v: directions diverge, dot = %v", v, dot)
+		}
+	}
+}

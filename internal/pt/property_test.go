@@ -1,0 +1,63 @@
+package pt
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+)
+
+// TestParallelByteIdentityProperty is a randomized property test pinning the
+// core guarantee the conformance subsystem builds on: RenderParallel is
+// byte-identical to the serial RenderChecked for every worker count,
+// including degenerate viewports (1×N, N×1) and prime dimensions where the
+// row-band split produces ragged bands.
+func TestParallelByteIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dims := [][2]int{{1, 1}, {1, 17}, {17, 1}, {13, 5}, {3, 31}, {29, 29}, {7, 23}, {2, 19}}
+	projs := []projection.Method{projection.ERP, projection.CMP, projection.EAC}
+	filters := []Filter{Nearest, Bilinear}
+	iters := 80
+	if testing.Short() {
+		iters = 20
+	}
+	for iter := 0; iter < iters; iter++ {
+		d := dims[rng.Intn(len(dims))]
+		cfg := Config{
+			Projection: projs[rng.Intn(len(projs))],
+			Filter:     filters[rng.Intn(len(filters))],
+			Viewport: projection.Viewport{
+				Width: d[0], Height: d[1],
+				FOVX: 0.3 + rng.Float64()*2.4,
+				FOVY: 0.3 + rng.Float64()*2.4,
+			},
+		}
+		inW, inH := 4+rng.Intn(40), 2+rng.Intn(30)
+		full := frame.New(inW, inH)
+		rng.Read(full.Pix)
+		o := geom.Orientation{
+			Yaw:   (rng.Float64()*2 - 1) * math.Pi,
+			Pitch: (rng.Float64() - 0.5) * math.Pi,
+			Roll:  (rng.Float64()*2 - 1) * 0.8,
+		}
+		workers := []int{1, 2, 3, 1 + rng.Intn(9), 64}[rng.Intn(5)]
+
+		ref, err := RenderChecked(cfg, full, o)
+		if err != nil {
+			t.Fatalf("iter %d: RenderChecked: %v", iter, err)
+		}
+		par, err := RenderParallelChecked(cfg, full, o, workers)
+		if err != nil {
+			t.Fatalf("iter %d: RenderParallelChecked: %v", iter, err)
+		}
+		if par.W != ref.W || par.H != ref.H || !bytes.Equal(ref.Pix, par.Pix) {
+			t.Fatalf("iter %d: parallel output diverges from serial (%v %v %dx%d input %dx%d workers %d pose %+v)",
+				iter, cfg.Projection, cfg.Filter, d[0], d[1], inW, inH, workers, o)
+		}
+		Recycle(par)
+	}
+}
