@@ -12,11 +12,19 @@
 # the wire-format, manifest, and head-trace CSV fuzzers a short budget
 # beyond their checked-in seeds.
 #
-# The conformance gates pin the three render implementations against the
+# The conformance gates pin the render implementations against the
 # committed golden manifest: the fast subset first (quick signal), then the
 # full corpus with the regenerate-and-diff byte-identity check and the
 # metamorphic property suite (see internal/conformance and cmd/evrconform;
-# regenerate goldens with `go run ./cmd/evrconform -update`).
+# regenerate goldens with `go run ./cmd/evrconform -update`). Since PR 6
+# every conformance case also renders through the exact-mode mapping-LUT
+# cache (internal/ptlut) and must stay byte-identical to the float
+# reference, so the fast gate doubles as the LUT quick gate.
+#
+# The LUT benchmark smoke exercises `evrbench -lut` end to end at a small
+# size — measure, write JSON, schema-check it — then schema-checks the
+# committed full-size BENCH_evrbench.json artifact (regenerate it with
+# `go run ./cmd/evrbench -lut`).
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -29,3 +37,6 @@ go test ./internal/server -run='^$' -fuzz=FuzzManifestJSON -fuzztime=5s
 go test ./internal/headtrace -run='^$' -fuzz=FuzzHeadtraceCSV -fuzztime=5s
 go run ./cmd/evrconform -fast
 go run ./cmd/evrconform
+go run ./cmd/evrbench -lut -lut-width 256 -lut-frames 2 -users 2 -bench-out "${TMPDIR:-/tmp}/bench_lut_smoke.json"
+go run ./cmd/evrbench -bench-check "${TMPDIR:-/tmp}/bench_lut_smoke.json"
+go run ./cmd/evrbench -bench-check BENCH_evrbench.json

@@ -1,0 +1,309 @@
+package main
+
+// The -lut mode benchmarks the mapping-LUT render hot path (internal/ptlut)
+// against the reference pt.RenderParallel and writes the measurements as
+// JSON (BENCH_evrbench.json) so CI and the experiment log can gate on them.
+// -bench-check re-reads such a file and validates its schema without
+// re-running the benchmark.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/headtrace"
+	"evr/internal/projection"
+	"evr/internal/pt"
+	"evr/internal/ptlut"
+	"evr/internal/scene"
+)
+
+// lutBenchSchema versions the JSON layout; -bench-check rejects anything else.
+const lutBenchSchema = "evrbench/lut/v1"
+
+// lutBenchReport is the full -lut measurement artifact.
+type lutBenchReport struct {
+	Schema string         `json:"schema"`
+	Config lutBenchConfig `json:"config"`
+	// BaselineMsPerFrame is pt.RenderParallel on the same pose and input.
+	BaselineMsPerFrame float64 `json:"baseline_ms_per_frame"`
+	// Exact is the byte-identical LUT arm (zero Options).
+	Exact lutBenchArm `json:"lut_exact"`
+	// Quant is the pose-quantized, integer-weight arm.
+	Quant lutBenchArm `json:"lut_quant"`
+	// TraceHitRates sweeps pose-grid steps over the head-trace corpus and
+	// reports how many renders would share a table (no rendering involved).
+	TraceHitRates []lutTraceHitRate `json:"trace_hit_rates"`
+}
+
+type lutBenchConfig struct {
+	InputW       int     `json:"input_w"`
+	InputH       int     `json:"input_h"`
+	ViewportW    int     `json:"viewport_w"`
+	ViewportH    int     `json:"viewport_h"`
+	Projection   string  `json:"projection"`
+	Filter       string  `json:"filter"`
+	WarmFrames   int     `json:"warm_frames"`
+	Workers      int     `json:"workers"`
+	QuantStepDeg float64 `json:"quant_step_deg"`
+	TraceVideo   string  `json:"trace_video"`
+	TraceUsers   int     `json:"trace_users"`
+}
+
+type lutBenchArm struct {
+	// BuildMs is the cold table-construction cost (the memoized mapping
+	// stage the warm path skips).
+	BuildMs float64 `json:"build_ms"`
+	// WarmMsPerFrame is a cache-hit render: gather + blend only.
+	WarmMsPerFrame float64 `json:"warm_ms_per_frame"`
+	// Speedup is BaselineMsPerFrame / WarmMsPerFrame.
+	Speedup float64 `json:"speedup"`
+	// TableBytes is the resident cost of the one benchmarked table.
+	TableBytes int64 `json:"table_bytes"`
+	// ByteIdentical records whether the arm's output matched the reference
+	// render bit for bit (must be true for the exact arm).
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+type lutTraceHitRate struct {
+	QuantStepDeg float64 `json:"quant_step_deg"`
+	Poses        int     `json:"poses"`
+	Distinct     int     `json:"distinct_tables"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// runLUTBench executes the benchmark and writes the report to outPath.
+// width is the ERP input width (height = width/2); the viewport scales with
+// it so small smoke runs stay self-consistent: width 3840 → 1920×1080.
+func runLUTBench(outPath string, width, warmFrames, workers, users int, quantDeg float64) error {
+	if width < 64 {
+		return fmt.Errorf("-lut-width must be ≥ 64 (got %d)", width)
+	}
+	if warmFrames < 1 {
+		return fmt.Errorf("-lut-frames must be ≥ 1 (got %d)", warmFrames)
+	}
+	if quantDeg <= 0 {
+		return fmt.Errorf("-lut-quant must be > 0 in -lut mode (got %g)", quantDeg)
+	}
+	width -= width % 8
+	full := frame.New(width, width/2)
+	fillBenchFrame(full)
+	vpW := width / 2
+	vpH := vpW * 9 / 16
+	cfg := pt.Config{
+		Projection: projection.ERP,
+		Filter:     pt.Bilinear,
+		Viewport:   projection.Viewport{Width: vpW, Height: vpH, FOVX: math.Pi / 2, FOVY: math.Pi / 2 * float64(vpH) / float64(vpW)},
+	}
+	pose := geom.Orientation{Yaw: 0.37, Pitch: -0.12, Roll: 0.05}
+
+	rep := lutBenchReport{
+		Schema: lutBenchSchema,
+		Config: lutBenchConfig{
+			InputW: width, InputH: width / 2,
+			ViewportW: vpW, ViewportH: vpH,
+			Projection: "ERP", Filter: "bilinear",
+			WarmFrames: warmFrames, Workers: workers,
+			QuantStepDeg: quantDeg,
+			TraceVideo:   "RS", TraceUsers: users,
+		},
+	}
+
+	// Baseline: the unmemoized parallel reference renderer.
+	ref := pt.RenderParallel(cfg, full, pose, workers)
+	start := time.Now()
+	for i := 0; i < warmFrames; i++ {
+		pt.Recycle(pt.RenderParallel(cfg, full, pose, workers))
+	}
+	rep.BaselineMsPerFrame = msPer(time.Since(start), warmFrames)
+
+	arms := []struct {
+		name string
+		opts ptlut.Options
+		dst  *lutBenchArm
+	}{
+		{"exact", ptlut.Options{}, &rep.Exact},
+		{"quant", ptlut.Options{QuantStep: geom.Radians(quantDeg), QuantWeights: true}, &rep.Quant},
+	}
+	for _, arm := range arms {
+		r, err := ptlut.NewRenderer(cfg, ptlut.NewCache(0, nil), arm.opts)
+		if err != nil {
+			return fmt.Errorf("%s arm: %w", arm.name, err)
+		}
+		start = time.Now()
+		tbl, err := r.Table(pose, full.W, full.H)
+		if err != nil {
+			return fmt.Errorf("%s arm build: %w", arm.name, err)
+		}
+		arm.dst.BuildMs = msPer(time.Since(start), 1)
+		arm.dst.TableBytes = tbl.Bytes()
+		var out *frame.Frame
+		start = time.Now()
+		for i := 0; i < warmFrames; i++ {
+			if out != nil {
+				pt.Recycle(out)
+			}
+			out, err = r.RenderChecked(full, pose, workers)
+			if err != nil {
+				return fmt.Errorf("%s arm render: %w", arm.name, err)
+			}
+		}
+		arm.dst.WarmMsPerFrame = msPer(time.Since(start), warmFrames)
+		if arm.dst.WarmMsPerFrame > 0 {
+			arm.dst.Speedup = rep.BaselineMsPerFrame / arm.dst.WarmMsPerFrame
+		}
+		arm.dst.ByteIdentical = ref.Equal(out)
+		pt.Recycle(out)
+	}
+	pt.Recycle(ref)
+	if !rep.Exact.ByteIdentical {
+		return fmt.Errorf("exact-mode LUT render is not byte-identical to pt.RenderParallel")
+	}
+
+	v, _ := scene.ByName(rep.Config.TraceVideo)
+	for _, stepDeg := range []float64{0, 0.1, quantDeg, 0.5, 1.0} {
+		rep.TraceHitRates = append(rep.TraceHitRates, traceHitRate(v, users, cfg, full.W, full.H, stepDeg))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	printLUTBench(rep, outPath)
+	return nil
+}
+
+// traceHitRate replays the head traces of `users` users, quantizes every
+// per-frame pose at stepDeg, and counts distinct table keys. Rendering is
+// not needed: the key alone decides table sharing, so hit rate is
+// 1 - distinct/poses.
+func traceHitRate(v scene.VideoSpec, users int, cfg pt.Config, fullW, fullH int, stepDeg float64) lutTraceHitRate {
+	step := geom.Radians(stepDeg)
+	distinct := make(map[ptlut.Key]struct{})
+	poses := 0
+	for u := 0; u < users; u++ {
+		tr := headtrace.Generate(v, u)
+		for _, s := range tr.Samples {
+			q := ptlut.Quantize(s.O, step)
+			distinct[ptlut.MakeKey(cfg, q, fullW, fullH, stepDeg > 0)] = struct{}{}
+			poses++
+		}
+	}
+	hr := lutTraceHitRate{QuantStepDeg: stepDeg, Poses: poses, Distinct: len(distinct)}
+	if poses > 0 {
+		hr.HitRate = 1 - float64(len(distinct))/float64(poses)
+	}
+	return hr
+}
+
+func printLUTBench(rep lutBenchReport, outPath string) {
+	c := rep.Config
+	fmt.Printf("LUT hot-path benchmark (%dx%d ERP → %dx%d bilinear, %d warm frames, workers=%d)\n",
+		c.InputW, c.InputH, c.ViewportW, c.ViewportH, c.WarmFrames, c.Workers)
+	fmt.Printf("  baseline pt.RenderParallel:  %8.2f ms/frame\n", rep.BaselineMsPerFrame)
+	for _, a := range []struct {
+		name string
+		arm  lutBenchArm
+	}{{"exact LUT (byte-identical)", rep.Exact}, {fmt.Sprintf("quant LUT (%.2g° grid, Q8)", c.QuantStepDeg), rep.Quant}} {
+		fmt.Printf("  %-28s %8.2f ms/frame warm (%.2fx), build %.2f ms, table %s, identical=%v\n",
+			a.name+":", a.arm.WarmMsPerFrame, a.arm.Speedup, a.arm.BuildMs,
+			byteSize(a.arm.TableBytes), a.arm.ByteIdentical)
+	}
+	fmt.Printf("  trace table sharing (%s, %d users):\n", c.TraceVideo, c.TraceUsers)
+	for _, hr := range rep.TraceHitRates {
+		fmt.Printf("    step %5.2f°: %6d poses → %6d tables, hit rate %5.1f%%\n",
+			hr.QuantStepDeg, hr.Poses, hr.Distinct, 100*hr.HitRate)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}
+
+// checkLUTBench validates an existing report file: schema tag, positive
+// timings, sane hit rates. It does not re-run the benchmark, so CI can gate
+// cheaply on artifact shape.
+func checkLUTBench(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep lutBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	var errs []string
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+	if rep.Schema != lutBenchSchema {
+		fail("schema %q, want %q", rep.Schema, lutBenchSchema)
+	}
+	if rep.Config.InputW <= 0 || rep.Config.InputH <= 0 || rep.Config.ViewportW <= 0 || rep.Config.ViewportH <= 0 {
+		fail("non-positive config dims: %+v", rep.Config)
+	}
+	if rep.BaselineMsPerFrame <= 0 {
+		fail("baseline_ms_per_frame %g must be > 0", rep.BaselineMsPerFrame)
+	}
+	for _, a := range []struct {
+		name string
+		arm  lutBenchArm
+	}{{"lut_exact", rep.Exact}, {"lut_quant", rep.Quant}} {
+		if a.arm.WarmMsPerFrame <= 0 || a.arm.BuildMs < 0 || a.arm.TableBytes <= 0 {
+			fail("%s has non-positive measurements: %+v", a.name, a.arm)
+		}
+		if a.arm.Speedup <= 0 {
+			fail("%s speedup %g must be > 0", a.name, a.arm.Speedup)
+		}
+	}
+	if !rep.Exact.ByteIdentical {
+		fail("lut_exact.byte_identical is false")
+	}
+	if len(rep.TraceHitRates) == 0 {
+		fail("trace_hit_rates is empty")
+	}
+	for _, hr := range rep.TraceHitRates {
+		if hr.Poses <= 0 || hr.Distinct <= 0 || hr.Distinct > hr.Poses {
+			fail("step %g: inconsistent pose counts %d/%d", hr.QuantStepDeg, hr.Distinct, hr.Poses)
+		}
+		if hr.HitRate < 0 || hr.HitRate >= 1 {
+			fail("step %g: hit rate %g outside [0,1)", hr.QuantStepDeg, hr.HitRate)
+		}
+	}
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "evrbench: bench-check: %s\n", e)
+		}
+		return fmt.Errorf("%s failed schema check (%d errors)", path, len(errs))
+	}
+	fmt.Printf("%s: schema OK (baseline %.2f ms, exact %.2fx, quant %.2fx)\n",
+		path, rep.BaselineMsPerFrame, rep.Exact.Speedup, rep.Quant.Speedup)
+	return nil
+}
+
+// fillBenchFrame paints a deterministic gradient-plus-stripe pattern so
+// bilinear blends do real work on varied texels.
+func fillBenchFrame(f *frame.Frame) {
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			f.Set(x, y, byte(x*255/f.W), byte(y*255/f.H), byte((x/3+y/5)%256))
+		}
+	}
+}
+
+func msPer(d time.Duration, n int) float64 {
+	return float64(d.Microseconds()) / 1000 / float64(n)
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -13,6 +13,13 @@
 // -telemetry observes every row band the parallel PT renderer executes and
 // prints the band-duration distribution afterwards — the p50-vs-max spread
 // is the worker-pool skew.
+//
+// With -lut, evrbench instead benchmarks the mapping-LUT render hot path
+// (internal/ptlut) against pt.RenderParallel — warm per-frame latency of the
+// exact and pose-quantized arms, cold build cost, and the table-sharing hit
+// rate over the head-trace corpus — and writes the measurements as JSON to
+// -bench-out (default BENCH_evrbench.json). -bench-check validates such a
+// file's schema without re-running, the cheap CI gate.
 package main
 
 import (
@@ -42,7 +49,20 @@ func main() {
 	mdPath := flag.String("md", "", "also write a full markdown report to this file")
 	workers := flag.Int("workers", 0, "render worker pool size for parallel PT paths (0 = GOMAXPROCS; results are byte-identical for any value)")
 	useTelemetry := flag.Bool("telemetry", false, "record per-band render timings and print the worker-pool skew report")
+	lutBench := flag.Bool("lut", false, "benchmark the mapping-LUT render hot path instead of the paper tables; writes -bench-out")
+	lutQuant := flag.Float64("lut-quant", 0.25, "pose-grid step in degrees for the quantized LUT arm")
+	lutWidth := flag.Int("lut-width", 3840, "ERP input width for -lut (height = width/2, viewport scales with it; 3840 → 1920×1080)")
+	lutFrames := flag.Int("lut-frames", 8, "warm frames measured per -lut arm")
+	benchOut := flag.String("bench-out", "BENCH_evrbench.json", "output path for the -lut JSON report")
+	benchCheck := flag.String("bench-check", "", "validate the schema of an existing -lut JSON report and exit")
 	flag.Parse()
+	if *benchCheck != "" {
+		if err := checkLUTBench(*benchCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "evrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *users < 1 {
 		fmt.Fprintln(os.Stderr, "evrbench: -users must be ≥ 1")
 		os.Exit(2)
@@ -52,6 +72,13 @@ func main() {
 		os.Exit(2)
 	}
 	pt.SetDefaultWorkers(*workers)
+	if *lutBench {
+		if err := runLUTBench(*benchOut, *lutWidth, *lutFrames, *workers, *users, *lutQuant); err != nil {
+			fmt.Fprintf(os.Stderr, "evrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var bands *telemetry.Histogram
 	if *useTelemetry {
 		bands = telemetry.NewHistogram(telemetry.DefaultStageBuckets())

@@ -22,8 +22,10 @@ import (
 	"time"
 
 	"evr/internal/client"
+	"evr/internal/geom"
 	"evr/internal/headtrace"
 	"evr/internal/hmd"
+	"evr/internal/ptlut"
 	"evr/internal/scene"
 	"evr/internal/telemetry"
 )
@@ -34,6 +36,8 @@ func main() {
 	user := flag.Int("user", 0, "user index for the head trace")
 	segments := flag.Int("segments", 4, "segments to play (0 = all available)")
 	har := flag.Bool("har", true, "render FOV misses on the PTE accelerator")
+	lut := flag.Bool("lut", false, "render FOV misses through the mapping-LUT cache (implies -har=false)")
+	lutQuant := flag.Float64("lut-quant", 0, "LUT pose-grid step in degrees (0 = exact mode, byte-identical; > 0 shares tables across nearby poses)")
 	resilient := flag.Bool("resilient", false, "survive corrupt/missing payloads (degrade instead of abort)")
 	timeout := flag.Duration("timeout", client.DefaultFetchConfig().Timeout, "per-request HTTP timeout (0 = none)")
 	retries := flag.Int("retries", client.DefaultFetchConfig().MaxRetries, "retries per request on transient failures")
@@ -60,6 +64,14 @@ func main() {
 		p.Trace = telemetry.NewTracer(0)
 	}
 	p.UseHAR = *har
+	if *lut {
+		p.UseHAR = false
+		p.UseLUT = true
+		p.LUTOptions = ptlut.Options{
+			QuantStep:    geom.Radians(*lutQuant),
+			QuantWeights: *lutQuant > 0,
+		}
+	}
 	p.Resilient = *resilient
 	p.Fetch.Timeout = *timeout
 	p.Fetch.MaxRetries = *retries
@@ -81,6 +93,13 @@ func main() {
 	fmt.Printf("  FOV misses:     %d\n", stats.Misses)
 	fmt.Printf("  fallbacks:      %d segments\n", stats.Fallbacks)
 	fmt.Printf("  PTE frames:     %d\n", stats.PTEFrames)
+	if *lut {
+		fmt.Printf("  LUT frames:     %d\n", stats.LUTFrames)
+		if st := p.LUTCache.Stats(); st.Hits+st.Misses > 0 {
+			fmt.Printf("  LUT tables:     %d built, %d hits, %d resident (%d bytes)\n",
+				st.Misses, st.Hits, st.Entries, st.Bytes)
+		}
+	}
 	fmt.Printf("  bytes fetched:  %d\n", stats.BytesFetched)
 	fmt.Printf("  cache hits:     %d (%d via prefetch)\n", stats.CacheHits, stats.PrefetchHits)
 	fmt.Printf("  retries:        %d\n", stats.Retries)

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"evr/internal/ptlut"
 	"evr/internal/scene"
 	"evr/internal/server"
 	"evr/internal/store"
@@ -34,6 +35,7 @@ func main() {
 	videos := flag.String("videos", "RS", "comma-separated catalog videos to ingest")
 	segments := flag.Int("segments", 4, "temporal segments to ingest per video (0 = all)")
 	live := flag.Bool("live", false, "live-streaming mode: no ingest analysis, no FOV videos (§8.3)")
+	lut := flag.Bool("lut", false, "pre-render FOV videos through the exact-mode mapping-LUT cache (byte-identical output; repeated cluster poses reuse tables)")
 	width := flag.Int("width", 192, "panoramic ingest width (height = width/2)")
 	snapshot := flag.String("snapshot", "", "persist the SAS store to this file (loaded on start, saved after ingest)")
 	respcache := flag.Int64("respcache", server.DefaultServiceOptions().RespCacheBytes>>20, "response cache budget in MiB (0 = off)")
@@ -54,6 +56,12 @@ func main() {
 	cfg.FullH = cfg.FullW / 2
 	cfg.MaxSegments = *segments
 	cfg.LiveMode = *live
+	if *lut {
+		cfg.UseLUT = true
+		// One cache across all ingested videos: same viewport, so clusters
+		// tracking the same orientations share tables across videos too.
+		cfg.LUTCache = ptlut.NewCache(0, nil)
+	}
 
 	st := store.New()
 	if *snapshot != "" {

@@ -34,7 +34,9 @@ import (
 	"evr/internal/headtrace"
 	"evr/internal/hmd"
 	"evr/internal/loadgen"
+	"evr/internal/pt"
 	"evr/internal/pte"
+	"evr/internal/ptlut"
 	"evr/internal/quality"
 	"evr/internal/scene"
 	"evr/internal/server"
@@ -218,6 +220,40 @@ func SixCameraRig(sensorRes int) Rig { return capture.SixCameraRig(sensorRes) }
 
 // DefaultLadder returns the three-rung ABR ladder.
 func DefaultLadder() Ladder { return abr.DefaultLadder() }
+
+// Pose-quantized mapping-LUT render path (see internal/ptlut): memoizes the
+// per-pixel mapping of a (pose, projection, viewport, input-dims) tuple in a
+// bytes-budgeted LRU so repeated poses skip the mapping stage entirely.
+type (
+	// PTConfig is the reference renderer's configuration (projection,
+	// filter, viewport) — also what a LUTRenderer is built around.
+	PTConfig = pt.Config
+	// LUTCache is the bytes-budgeted LRU of mapping tables with
+	// singleflight build coalescing; share one across players and ingests.
+	LUTCache = ptlut.Cache
+	// LUTCacheStats is a point-in-time snapshot of a LUTCache.
+	LUTCacheStats = ptlut.CacheStats
+	// LUTRenderer renders FOV frames through the mapping-LUT cache. The
+	// zero LUTOptions make it byte-identical to the reference renderer.
+	LUTRenderer = ptlut.Renderer
+	// LUTOptions tunes the LUT accuracy/sharing trade-off.
+	LUTOptions = ptlut.Options
+)
+
+// DefaultLUTQuantStep is the default pose-grid step (0.25°) for quantized
+// LUT mode.
+const DefaultLUTQuantStep = ptlut.DefaultQuantStep
+
+// NewLUTCache returns a mapping-table cache with the given byte budget
+// (<= 0 uses the 256 MiB default), optionally registering its metrics.
+func NewLUTCache(maxBytes int64, reg *MetricsRegistry) *LUTCache {
+	return ptlut.NewCache(maxBytes, reg)
+}
+
+// NewLUTRenderer builds a LUT-backed renderer for one render configuration.
+func NewLUTRenderer(cfg PTConfig, cache *LUTCache, opts LUTOptions) (*LUTRenderer, error) {
+	return ptlut.NewRenderer(cfg, cache, opts)
+}
 
 // Conformance: the differential + metamorphic testing oracle that pins the
 // float reference, the fixed-point PTE datapath, and the GPU model against

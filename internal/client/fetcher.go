@@ -99,6 +99,18 @@ type Fetcher struct {
 	http  *http.Client
 	cache *segmentCache
 
+	// ctx parents every attempt's request context and gates retry backoff;
+	// Close cancels it so in-flight transfers and backoff sleeps abort
+	// promptly instead of running to their full timeout.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// rng feeds backoff jitter. Per-fetcher and mutex-guarded rather than
+	// the global math/rand source: backoff must not contend with (or be
+	// reseeded under) unrelated packages' use of the global generator.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
 	mu      sync.Mutex
 	flights map[segmentKey]*flightCall
 	wg      sync.WaitGroup // outstanding prefetch goroutines
@@ -128,12 +140,24 @@ func NewFetcher(cfg FetchConfig, httpClient *http.Client) *Fetcher {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: cfg.Timeout}
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Fetcher{
 		cfg:     cfg,
 		http:    httpClient,
 		cache:   newSegmentCache(cfg.CacheSegments),
+		ctx:     ctx,
+		cancel:  cancel,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 		flights: make(map[segmentKey]*flightCall),
 	}
+}
+
+// Close shuts the fetcher down: in-flight attempts are canceled, pending
+// retry backoffs abort immediately, and outstanding prefetch goroutines are
+// waited out. The fetcher must not be used afterwards.
+func (f *Fetcher) Close() {
+	f.cancel()
+	f.wg.Wait()
 }
 
 // Counters snapshots the fetch layer's activity counters.
@@ -332,14 +356,18 @@ func (f *Fetcher) get(url string) ([]byte, error) {
 			return nil, lastErr
 		}
 		f.retries.Add(1)
-		f.backoff(attempt)
+		if err := f.backoff(attempt); err != nil {
+			// Shut down mid-backoff: report the failure we were about to
+			// retry, annotated with why the retry never ran.
+			return nil, fmt.Errorf("%w (retry aborted: %v)", lastErr, err)
+		}
 	}
 }
 
 // attempt is one HTTP round trip. transient reports whether the failure is
 // worth retrying.
 func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool) {
-	ctx := context.Background()
+	ctx := f.ctx
 	if f.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, f.cfg.Timeout)
@@ -387,13 +415,17 @@ func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool) {
 	return body, nil, false
 }
 
-// backoff sleeps the exponential-backoff delay for a retry attempt, with
+// backoff waits out the exponential-backoff delay for a retry attempt, with
 // up to 50% additive jitter so synchronized clients don't stampede a
-// recovering origin.
-func (f *Fetcher) backoff(attempt int) {
+// recovering origin. The wait is interruptible: closing the fetcher aborts
+// it immediately and backoff returns the cancellation cause. (It used to
+// time.Sleep — a Close during a 2 s backoff left the caller blocked for the
+// full delay, and the jitter draw raced every other user of the global
+// math/rand source.)
+func (f *Fetcher) backoff(attempt int) error {
 	d := f.cfg.BackoffBase
 	if d <= 0 {
-		return
+		return f.ctx.Err()
 	}
 	for i := 0; i < attempt && d < f.cfg.BackoffMax; i++ {
 		d *= 2
@@ -401,7 +433,17 @@ func (f *Fetcher) backoff(attempt int) {
 	if f.cfg.BackoffMax > 0 && d > f.cfg.BackoffMax {
 		d = f.cfg.BackoffMax
 	}
-	time.Sleep(d + time.Duration(rand.Int63n(int64(d)/2+1)))
+	f.rngMu.Lock()
+	jitter := time.Duration(f.rng.Int63n(int64(d)/2 + 1))
+	f.rngMu.Unlock()
+	t := time.NewTimer(d + jitter)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-f.ctx.Done():
+		return f.ctx.Err()
+	}
 }
 
 // isTimeout reports whether an HTTP failure was a timeout.

@@ -72,6 +72,88 @@ func TestFetcherGivesUpAfterMaxRetries(t *testing.T) {
 	}
 }
 
+// TestFetcherCloseAbortsBackoff pins the backoff cancellation fix: a
+// fetcher closed during a long retry backoff must return promptly instead
+// of sleeping out the full delay (backoff used to be an uninterruptible
+// time.Sleep).
+func TestFetcherCloseAbortsBackoff(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	cfg := fastFetchConfig()
+	cfg.MaxRetries = 1
+	cfg.BackoffBase = 30 * time.Second // without cancellation the test would hang here
+	cfg.BackoffMax = 30 * time.Second
+	f := NewFetcher(cfg, nil)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := f.get(ts.URL)
+		errc <- err
+	}()
+	// Wait until the first attempt has failed and the backoff started.
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	start := time.Now()
+	f.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("get against a failing origin succeeded")
+		}
+		if !strings.Contains(err.Error(), "retry aborted") {
+			t.Errorf("error does not mention the aborted retry: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Errorf("backoff abort took %v, want prompt return", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("get still blocked in backoff 5 s after Close")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("origin saw %d attempts after Close, want 1", got)
+	}
+}
+
+// TestFetcherCloseCancelsInflightAttempt checks Close also cuts an attempt
+// that is mid-transfer, via the request context parented on the fetcher.
+func TestFetcherCloseCancelsInflightAttempt(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	cfg := fastFetchConfig()
+	cfg.Timeout = 0 // no per-attempt deadline: only Close can end this
+	cfg.MaxRetries = 0
+	f := NewFetcher(cfg, nil)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := f.get(ts.URL)
+		errc <- err
+	}()
+	<-entered
+	f.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("canceled attempt reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("attempt still blocked 5 s after Close")
+	}
+}
+
 func TestFetcherDoesNotRetryPermanentErrors(t *testing.T) {
 	var calls atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

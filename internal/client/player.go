@@ -10,6 +10,7 @@ import (
 	"evr/internal/projection"
 	"evr/internal/pt"
 	"evr/internal/pte"
+	"evr/internal/ptlut"
 	"evr/internal/server"
 	"evr/internal/telemetry"
 )
@@ -34,6 +35,19 @@ type Player struct {
 	// UseHAR renders fallback frames on the PTE accelerator; otherwise the
 	// reference (GPU-style) float pipeline is used.
 	UseHAR bool
+	// UseLUT renders fallback frames through the pose-quantized mapping-LUT
+	// cache instead of re-running the full per-pixel mapping (ignored when
+	// UseHAR is set — the PTE is its own datapath). With LUTOptions zero the
+	// output stays byte-identical to the reference pipeline; renders at a
+	// repeated (quantized) pose skip the mapping stage entirely.
+	UseLUT bool
+	// LUTOptions tunes the LUT accuracy/sharing trade-off (pose grid step,
+	// fixed-point weights). The zero value is exact mode.
+	LUTOptions ptlut.Options
+	// LUTCache optionally shares one mapping-table cache across players (and
+	// with the server's pre-render path). nil gives this player its own
+	// default-budget cache when UseLUT is set.
+	LUTCache *ptlut.Cache
 	// ViewportScale shrinks the rendered viewport by this linear factor to
 	// keep pixel work tractable (energy accounting always uses nominal
 	// sizes; the player is about end-to-end correctness).
@@ -67,6 +81,7 @@ type PlaybackStats struct {
 	Fallbacks     int   // segments that fell back to the original stream
 	BytesFetched  int64 // bytes received over the wire (cache hits fetch nothing)
 	PTEFrames     int
+	LUTFrames     int // fallback frames rendered through the mapping-LUT cache
 	PayloadErrors int // corrupt/missing payloads survived (Resilient mode)
 	FrozenFrames  int // frames repeated because no content was decodable
 
@@ -143,6 +158,18 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 	// viewport) before the playback loop rather than mid-render.
 	if err := refCfg.Validate(); err != nil {
 		return stats, nil, err
+	}
+	var lut *ptlut.Renderer
+	if p.UseLUT && engine == nil {
+		cache := p.LUTCache
+		if cache == nil {
+			cache = ptlut.NewCache(0, nil)
+			p.LUTCache = cache // reuse across Play calls
+		}
+		lut, err = ptlut.NewRenderer(refCfg, cache, p.LUTOptions)
+		if err != nil {
+			return stats, nil, err
+		}
 	}
 
 	frameIdx := 0
@@ -242,10 +269,19 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 				sp.Stop(telemetry.StageDisplay)
 			} else if f < len(origFrames) {
 				sp.Start(telemetry.StageRender)
-				if engine != nil {
+				switch {
+				case engine != nil:
 					out = engine.RenderParallel(origFrames[f], o, p.Workers)
 					stats.PTEFrames++
-				} else {
+				case lut != nil:
+					out, err = lut.RenderChecked(origFrames[f], o, p.Workers)
+					if err != nil {
+						sp.Stop(telemetry.StageRender)
+						sp.Finish() // record the partially-timed frame
+						return stats, nil, err
+					}
+					stats.LUTFrames++
+				default:
 					out, err = pt.RenderParallelChecked(refCfg, origFrames[f], o, p.Workers)
 					if err != nil {
 						sp.Stop(telemetry.StageRender)

@@ -100,6 +100,49 @@ func TestEndToEndHARvsReference(t *testing.T) {
 	}
 }
 
+// TestEndToEndLUTvsReference pins the player's LUT wiring: with exact-mode
+// LUT options, every displayed frame is byte-identical to the reference
+// float pipeline's, and fallback renders actually went through the
+// mapping-table cache.
+func TestEndToEndLUTvsReference(t *testing.T) {
+	ts, v := startTestServer(t, "RS", 1)
+	imu := hmd.NewIMU(headtrace.Generate(v, 1))
+
+	lut := NewPlayer(ts.URL)
+	lut.UseHAR = false
+	lut.UseLUT = true
+	sLut, fLut, err := lut.Play("RS", imu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewPlayer(ts.URL)
+	ref.UseHAR = false
+	sRef, fRef, err := ref.Play("RS", imu, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sLut.Frames != sRef.Frames {
+		t.Fatalf("frame counts differ: %d vs %d", sLut.Frames, sRef.Frames)
+	}
+	for i := range fLut {
+		if !fLut[i].Equal(fRef[i]) {
+			t.Fatalf("frame %d: exact-mode LUT playback not byte-identical to reference", i)
+		}
+	}
+	if sLut.Misses > 0 && sLut.LUTFrames == 0 {
+		t.Error("misses occurred but no frame went through the LUT renderer")
+	}
+	if sLut.PTEFrames != 0 {
+		t.Errorf("LUT player used the PTE %d times", sLut.PTEFrames)
+	}
+	if lut.LUTCache == nil {
+		t.Fatal("player did not retain its LUT cache")
+	}
+	if st := lut.LUTCache.Stats(); sLut.LUTFrames > 0 && st.Misses == 0 {
+		t.Errorf("LUT frames rendered but cache saw no builds: %+v", st)
+	}
+}
+
 func TestPlayerUnknownVideo(t *testing.T) {
 	ts, _ := startTestServer(t, "RS", 1)
 	p := NewPlayer(ts.URL)

@@ -39,6 +39,7 @@ import (
 	"evr/internal/projection"
 	"evr/internal/pt"
 	"evr/internal/pte"
+	"evr/internal/ptlut"
 	"evr/internal/quality"
 )
 
@@ -287,8 +288,8 @@ type Result struct {
 
 // RunCase executes one corpus case through all implementations. It returns
 // an error when a byte-identity invariant is violated (pt parallel, gpusim,
-// pte parallel); budget checking against the fixed-point divergence metrics
-// is the manifest's job.
+// the exact-mode mapping LUT, pte parallel); budget checking against the
+// fixed-point divergence metrics is the manifest's job.
 func RunCase(c Case) (Result, error) {
 	full := InputFrame(c.Projection)
 	cfg := c.PTConfig()
@@ -305,6 +306,21 @@ func RunCase(c Case) (Result, error) {
 		return Result{}, fmt.Errorf("%s: pt.RenderParallel(workers=%d) not byte-identical to serial render", c.Name, c.Workers)
 	}
 	pt.Recycle(par)
+
+	// The exact-mode mapping LUT claims byte identity with the reference for
+	// every pose — make that a gated invariant, not a package-local test.
+	lr, err := ptlut.NewRenderer(cfg, nil, ptlut.Options{})
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: ptlut: %w", c.Name, err)
+	}
+	lout, err := lr.RenderChecked(full, c.Pose, c.Workers)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: ptlut render: %w", c.Name, err)
+	}
+	if !ref.Equal(lout) {
+		return Result{}, fmt.Errorf("%s: exact-mode ptlut render (workers=%d) not byte-identical to pt reference", c.Name, c.Workers)
+	}
+	pt.Recycle(lout)
 
 	gpu, err := gpusim.New(gpusim.DefaultConfig(cfg))
 	if err != nil {
@@ -327,6 +343,12 @@ func RunCase(c Case) (Result, error) {
 
 	return Result{Case: c, Metrics: measure(ref, pteOut)}, nil
 }
+
+// Measure computes the divergence metrics between a reference render and an
+// approximate one — the same arithmetic the golden manifest is built from,
+// exported so other approximate paths (the quantized mapping LUT) can hold
+// themselves to the per-class budgets.
+func Measure(ref, approx *frame.Frame) Metrics { return measure(ref, approx) }
 
 // measure computes the divergence metrics between the float reference and
 // the fixed-point output.

@@ -235,22 +235,71 @@ func (m *Manifest) BudgetViolations() []string {
 
 // budgetViolations checks one entry against its in-code budget class.
 func budgetViolations(e Entry) []string {
-	b := budgetForEntry(e)
+	return budgetForEntry(e).Violations(e.Name, Metrics{
+		MaxAbsErr: e.MaxAbsErr,
+		MAE:       e.MAE,
+		PSNR:      e.PSNR,
+		SSIM:      e.SSIM,
+		DiffFrac:  e.DiffFrac,
+	})
+}
+
+// BudgetFor returns the in-code error budget of a (filter, label) class —
+// the envelope other approximate render paths hold themselves to on the
+// same corpus.
+func BudgetFor(filter pt.Filter, label string) Budget {
+	return budgetFor(Case{Filter: filter, Label: label})
+}
+
+// LUTQuantBudgetFor returns the error budget for the pose-quantized mapping
+// LUT (ptlut at DefaultQuantStep with Q8 fixed-point weights) on the stress
+// corpus. Its error model differs from the fixed-point datapath's: pose
+// snapping (≤ 0.125° per axis) shifts the whole frame by a sub-pixel
+// amount, so on this corpus's high-contrast synthetic content many pixels
+// move slightly (large DiffFrac, and nearest flips whole texels across
+// stress-cap rims) while the error mass stays small. Budgets carry ~1.5×
+// headroom over the measured worst cases per class (see the table in
+// EXPERIMENTS.md); a pose already on the grid (the identity label) must be
+// nearly exact — only the Q8 weight rounding remains.
+func LUTQuantBudgetFor(filter pt.Filter, label string) Budget {
+	if filter == pt.Bilinear {
+		if label == "identity" {
+			// Grid pose: pose error zero, Q8 weights alone. Measured
+			// maxAbs 1, MAE 3.2e-5.
+			return Budget{MaxMAE: 0.0001, MinPSNR: 60, MinSSIM: 0.9999, MaxDiffFrac: 0.05, MaxAbsErr: 2}
+		}
+		// Measured worst: MAE 2.6e-3, PSNR 39.9 dB, SSIM 0.9956, 37% of
+		// pixels nudged, maxAbs 77 across a stress-cap rim.
+		return Budget{MaxMAE: 0.004, MinPSNR: 37, MinSSIM: 0.99, MaxDiffFrac: 0.55, MaxAbsErr: 120}
+	}
+	if label == "identity" {
+		// Grid pose, no weights: the table is the exact table, bit for bit.
+		return Budget{MaxMAE: 0, MinPSNR: 99, MinSSIM: 1, MaxDiffFrac: 0, MaxAbsErr: 0}
+	}
+	// Measured worst: MAE 3.0e-3, PSNR 28.9 dB, SSIM 0.980, 10.5% of pixels
+	// flipped to a neighboring texel; across a rim that is full contrast.
+	return Budget{MaxMAE: 0.0045, MinPSNR: 27, MinSSIM: 0.97, MaxDiffFrac: 0.16, MaxAbsErr: 255}
+}
+
+// Violations checks measured divergence metrics against the budget,
+// returning one human-readable violation per exceeded bound. name prefixes
+// each message.
+func (b Budget) Violations(name string, m Metrics) []string {
 	var v []string
-	if e.MAE > b.MaxMAE {
-		v = append(v, fmt.Sprintf("%s: MAE %g exceeds budget %g", e.Name, e.MAE, b.MaxMAE))
+	if m.MAE > b.MaxMAE {
+		v = append(v, fmt.Sprintf("%s: MAE %g exceeds budget %g", name, m.MAE, b.MaxMAE))
 	}
-	if e.PSNR < b.MinPSNR {
-		v = append(v, fmt.Sprintf("%s: PSNR %g dB below floor %g dB", e.Name, e.PSNR, b.MinPSNR))
+	if m.PSNR < b.MinPSNR {
+		v = append(v, fmt.Sprintf("%s: PSNR %g dB below floor %g dB", name, m.PSNR, b.MinPSNR))
 	}
-	if e.SSIM < b.MinSSIM {
-		v = append(v, fmt.Sprintf("%s: SSIM %g below floor %g", e.Name, e.SSIM, b.MinSSIM))
+	if m.SSIM < b.MinSSIM {
+		v = append(v, fmt.Sprintf("%s: SSIM %g below floor %g", name, m.SSIM, b.MinSSIM))
 	}
-	if e.DiffFrac > b.MaxDiffFrac {
-		v = append(v, fmt.Sprintf("%s: %.2f%% of pixels differ, budget %.2f%%", e.Name, 100*e.DiffFrac, 100*b.MaxDiffFrac))
+	if m.DiffFrac > b.MaxDiffFrac {
+		v = append(v, fmt.Sprintf("%s: %.2f%% of pixels differ, budget %.2f%%", name, 100*m.DiffFrac, 100*b.MaxDiffFrac))
 	}
-	if e.MaxAbsErr > b.MaxAbsErr {
-		v = append(v, fmt.Sprintf("%s: max abs error %d exceeds budget %d", e.Name, e.MaxAbsErr, b.MaxAbsErr))
+	if m.MaxAbsErr > b.MaxAbsErr {
+		v = append(v, fmt.Sprintf("%s: max abs error %d exceeds budget %d", name, m.MaxAbsErr, b.MaxAbsErr))
 	}
 	return v
 }

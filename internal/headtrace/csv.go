@@ -68,10 +68,14 @@ func ReadCSV(r io.Reader, video string, fps, user int) (Trace, error) {
 		if !isFinite(t) || !isFinite(yaw) || !isFinite(pitch) {
 			return Trace{}, fmt.Errorf("headtrace: row %d has non-finite value: %v", i+1, rec)
 		}
-		tr.Samples = append(tr.Samples, Sample{
-			T: t,
-			O: geom.Orientation{Yaw: geom.Radians(yaw), Pitch: geom.Radians(pitch)}.Normalize(),
-		})
+		o := geom.Orientation{Yaw: geom.Radians(yaw), Pitch: geom.Radians(pitch)}.Normalize()
+		// Degrees near MaxFloat64 are finite but overflow the radian
+		// conversion (1e308° · π → +Inf) and wrap to NaN — reject them
+		// like any other non-finite value.
+		if !isFinite(o.Yaw) || !isFinite(o.Pitch) {
+			return Trace{}, fmt.Errorf("headtrace: row %d angle overflows radian conversion: %v", i+1, rec)
+		}
+		tr.Samples = append(tr.Samples, Sample{T: t, O: o})
 	}
 	return tr, nil
 }

@@ -19,6 +19,7 @@ func FuzzHeadtraceCSV(f *testing.F) {
 	f.Add([]byte("t,yaw_deg,pitch_deg\n0,Inf,0\n"))
 	f.Add([]byte("t,yaw_deg,pitch_deg\n0,0,-Inf\n"))
 	f.Add([]byte("t,yaw_deg,pitch_deg\n0,1e300,0\n"))
+	f.Add([]byte("t,yaw_deg,pitch_deg\n0,1e308,0\n")) // finite degrees, +Inf radians
 	f.Add([]byte("t,yaw_deg,pitch_deg\n0,1,2,3\n"))
 	f.Add([]byte("t,yaw_deg,pitch_deg\n0,1\n"))
 	f.Add([]byte("t,yaw_deg,pitch_deg\n\"0.1,2.0000,3.00")) // truncated quoted field

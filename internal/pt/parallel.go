@@ -2,6 +2,7 @@ package pt
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -27,9 +28,15 @@ var defaultWorkers atomic.Int32
 
 // SetDefaultWorkers fixes the worker count used when RenderParallel is
 // called with workers == 0. n <= 0 restores the GOMAXPROCS default.
+// Counts beyond the int32 store saturate instead of truncating — a huge n
+// must mean "all the parallelism there is", never wrap negative and
+// silently restore the default.
 func SetDefaultWorkers(n int) {
 	if n < 0 {
 		n = 0
+	}
+	if n > math.MaxInt32 {
+		n = math.MaxInt32
 	}
 	defaultWorkers.Store(int32(n))
 }
@@ -73,6 +80,12 @@ func newPooledFrame(w, h int) *frame.Frame {
 	}
 	return frame.New(w, h)
 }
+
+// NewPooledFrame returns a w×h frame backed by the shared render buffer
+// pool, for render paths outside this package (the mapping-LUT renderer)
+// that produce frames callers hand back via Recycle. The frame's pixels are
+// unspecified — the caller must write every one.
+func NewPooledFrame(w, h int) *frame.Frame { return newPooledFrame(w, h) }
 
 // Recycle returns a frame's pixel buffer to the render pool. The caller
 // must not touch f afterwards. Recycling is optional — frames that are

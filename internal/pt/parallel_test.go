@@ -150,6 +150,56 @@ func TestSetDefaultWorkers(t *testing.T) {
 	}
 }
 
+// TestSetDefaultWorkersSaturates pins the int32 store against truncation:
+// on 64-bit platforms a count past MaxInt32 used to wrap (possibly
+// negative) and silently fall back to GOMAXPROCS; now it saturates.
+func TestSetDefaultWorkersSaturates(t *testing.T) {
+	if math.MaxInt == math.MaxInt32 {
+		t.Skip("int is 32-bit; the truncating store cannot overflow")
+	}
+	defer SetDefaultWorkers(0)
+	for _, n := range []int{math.MaxInt32 + 1, math.MaxInt, 1 << 33} {
+		SetDefaultWorkers(n)
+		if got := DefaultWorkers(); got != math.MaxInt32 {
+			t.Errorf("SetDefaultWorkers(%d): DefaultWorkers = %d, want MaxInt32", n, got)
+		}
+	}
+	// And the boundary itself is representable, not clamped away.
+	SetDefaultWorkers(math.MaxInt32)
+	if got := DefaultWorkers(); got != math.MaxInt32 {
+		t.Errorf("SetDefaultWorkers(MaxInt32): DefaultWorkers = %d", got)
+	}
+}
+
+// TestRecycleTwiceNoAlias pins the double-recycle guard: Recycle nils the
+// frame's pixel slice, so recycling the same frame again must be a no-op
+// rather than putting one buffer into the pool twice — which would hand two
+// later renders the same backing array.
+func TestRecycleTwiceNoAlias(t *testing.T) {
+	f := newPooledFrame(8, 8)
+	Recycle(f)
+	if f.Pix != nil {
+		t.Fatal("Recycle must nil the frame's pixel slice")
+	}
+	Recycle(f) // second recycle of the same frame: must be a no-op
+
+	// Drain the pool into two frames; aliasing would make a write through
+	// one visible through the other.
+	a := newPooledFrame(8, 8)
+	b := newPooledFrame(8, 8)
+	for i := range a.Pix {
+		a.Pix[i] = 0xAA
+	}
+	for i := range b.Pix {
+		b.Pix[i] = 0x55
+	}
+	for i, v := range a.Pix {
+		if v != 0xAA {
+			t.Fatalf("double recycle aliased pooled buffers: a.Pix[%d] = %#x", i, v)
+		}
+	}
+}
+
 func TestMapperMatchesMapPixel(t *testing.T) {
 	cfg := Config{Projection: projection.EAC, Filter: Bilinear, Viewport: testViewport()}
 	o := geom.Orientation{Yaw: 1.1, Pitch: -0.4, Roll: 0.2}

@@ -1,0 +1,389 @@
+package ptlut_test
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/pt"
+	"evr/internal/ptlut"
+	"evr/internal/telemetry"
+)
+
+// testFrame builds a deterministic high-frequency test panorama: gradients
+// plus diagonal stripes so a one-texel sampling error shows up as a byte
+// difference rather than vanishing into flat content.
+func testFrame(w, h int) *frame.Frame {
+	f := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Set(x, y, byte(x*255/w), byte(y*255/h), byte((3*x+5*y)%256))
+		}
+	}
+	return f
+}
+
+func testConfig(m projection.Method, flt pt.Filter, w, h int) pt.Config {
+	return pt.Config{
+		Projection: m,
+		Filter:     flt,
+		Viewport:   projection.Viewport{Width: w, Height: h, FOVX: math.Pi / 2, FOVY: math.Pi / 2},
+	}
+}
+
+var testPoses = []geom.Orientation{
+	{},
+	{Yaw: 0.4},
+	{Yaw: math.Pi, Pitch: 0.2},           // ERP seam
+	{Pitch: math.Pi/2 - 0.03},            // pole
+	{Yaw: math.Pi / 4, Pitch: -0.3},      // cube edge
+	{Yaw: -2.5, Pitch: 0.7, Roll: 0.35},  // rolled
+	{Yaw: 1e-9, Pitch: -1e-9, Roll: 0.0}, // near-identity
+}
+
+// TestExactByteIdentity pins the tentpole invariant at unit scale: the
+// exact-mode LUT renderer is byte-identical to pt.RenderParallel for every
+// projection, filter, pose, and worker count (the full-corpus version lives
+// in conformance_test.go).
+func TestExactByteIdentity(t *testing.T) {
+	for _, m := range projection.Methods {
+		full := testFrame(128, 64)
+		if m != projection.ERP {
+			full = testFrame(120, 80)
+		}
+		for _, flt := range []pt.Filter{pt.Nearest, pt.Bilinear} {
+			cfg := testConfig(m, flt, 48, 40)
+			r, err := ptlut.NewRenderer(cfg, ptlut.NewCache(0, nil), ptlut.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pi, pose := range testPoses {
+				want := pt.RenderParallel(cfg, full, pose, 3)
+				for _, workers := range []int{1, 2, 5, 64} {
+					got := r.Render(full, pose, workers)
+					if !want.Equal(got) {
+						t.Fatalf("%v/%v pose %d workers %d: LUT render differs from pt.RenderParallel", m, flt, pi, workers)
+					}
+					pt.Recycle(got)
+				}
+				pt.Recycle(want)
+			}
+			st := r.Stats()
+			// One build per pose, the rest of the renders must hit.
+			if st.Misses != int64(len(testPoses)) {
+				t.Errorf("%v/%v: %d builds for %d poses", m, flt, st.Misses, len(testPoses))
+			}
+			if st.Hits == 0 {
+				t.Errorf("%v/%v: no cache hits", m, flt)
+			}
+		}
+	}
+}
+
+// TestExactIdentityAcrossInputSizes verifies tables are keyed on input
+// dims: the same renderer serving frames of different sizes must stay
+// byte-identical for each (no stale-table aliasing).
+func TestExactIdentityAcrossInputSizes(t *testing.T) {
+	cfg := testConfig(projection.ERP, pt.Bilinear, 32, 32)
+	r, err := ptlut.NewRenderer(cfg, ptlut.NewCache(0, nil), ptlut.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pose := geom.Orientation{Yaw: 0.7, Pitch: 0.1}
+	for _, dims := range [][2]int{{64, 32}, {128, 64}, {64, 32}, {30, 20}} {
+		full := testFrame(dims[0], dims[1])
+		want := pt.Render(cfg, full, pose)
+		got := r.Render(full, pose, 2)
+		if !want.Equal(got) {
+			t.Fatalf("input %dx%d: LUT render differs", dims[0], dims[1])
+		}
+		pt.Recycle(got)
+	}
+}
+
+// TestDegenerateDims sweeps 1-pixel-wide/tall viewports and inputs through
+// the exact path: the packed-offset edge policy must match frame.At /
+// frame.AtWrapX clamping even when every tap clamps.
+func TestDegenerateDims(t *testing.T) {
+	for _, m := range projection.Methods {
+		for _, flt := range []pt.Filter{pt.Nearest, pt.Bilinear} {
+			for _, vp := range [][2]int{{1, 7}, {7, 1}, {1, 1}, {3, 5}} {
+				cfg := testConfig(m, flt, vp[0], vp[1])
+				r, err := ptlut.NewRenderer(cfg, nil, ptlut.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, in := range [][2]int{{1, 1}, {2, 1}, {1, 3}, {5, 4}} {
+					full := testFrame(in[0], in[1])
+					pose := geom.Orientation{Yaw: 2.8, Pitch: -1.1}
+					want := pt.Render(cfg, full, pose)
+					got := r.Render(full, pose, 3)
+					if !want.Equal(got) {
+						t.Fatalf("%v/%v vp %v in %v: differs", m, flt, vp, in)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizedPoseSharing pins the quantized mode's contract: poses within
+// one grid cell share a table (hit), the rendered image equals the exact
+// render at the snapped pose (for float weights), and quantization error
+// versus the true pose stays small on smooth content.
+func TestQuantizedPoseSharing(t *testing.T) {
+	cfg := testConfig(projection.ERP, pt.Bilinear, 48, 48)
+	step := geom.Radians(0.5)
+	r, err := ptlut.NewRenderer(cfg, ptlut.NewCache(0, nil), ptlut.Options{QuantStep: step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := testFrame(256, 128)
+	// A grid point plus sub-cell jitter, so both poses land in one cell.
+	base := geom.Orientation{Yaw: 34 * step, Pitch: 11 * step}
+	nearby := geom.Orientation{Yaw: base.Yaw + step/8, Pitch: base.Pitch - step/8}
+	a := r.Render(full, base, 2)
+	b := r.Render(full, nearby, 2)
+	if !a.Equal(b) {
+		t.Fatal("poses in one quantization cell must render identically")
+	}
+	st := r.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("want 1 build + 1 hit, got misses=%d hits=%d", st.Misses, st.Hits)
+	}
+	snapped := ptlut.Quantize(base, step)
+	want := pt.Render(cfg, full, snapped)
+	if !want.Equal(a) {
+		t.Fatal("quantized render must equal the exact render at the snapped pose")
+	}
+}
+
+// TestQuantWeightsError bounds the Q8 fixed-point blend against the float
+// reference at the same pose: the weight grid is 1/256, so the per-channel
+// error on any content is at most a couple of codes.
+func TestQuantWeightsError(t *testing.T) {
+	cfg := testConfig(projection.ERP, pt.Bilinear, 64, 64)
+	r, err := ptlut.NewRenderer(cfg, nil, ptlut.Options{QuantWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := testFrame(256, 128)
+	pose := geom.Orientation{Yaw: 1.2, Pitch: 0.4}
+	want := pt.Render(cfg, full, pose)
+	got := r.Render(full, pose, 2)
+	maxAbs := 0
+	for i := range want.Pix {
+		d := int(want.Pix[i]) - int(got.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > maxAbs {
+			maxAbs = d
+		}
+	}
+	if maxAbs > 2 {
+		t.Fatalf("Q8 blend max abs error %d, want <= 2", maxAbs)
+	}
+	if mae := frame.MAE(want, got); mae > 1e-3 {
+		t.Fatalf("Q8 blend MAE %g above the visually-lossless line", mae)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	step := geom.Radians(1)
+	got := ptlut.Quantize(geom.Orientation{Yaw: geom.Radians(10.4), Pitch: geom.Radians(-0.6), Roll: 0}, step)
+	want := geom.Orientation{Yaw: geom.Radians(10), Pitch: geom.Radians(-1)}
+	if math.Abs(got.Yaw-want.Yaw) > 1e-12 || math.Abs(got.Pitch-want.Pitch) > 1e-12 || got.Roll != 0 {
+		t.Fatalf("Quantize = %+v, want %+v", got, want)
+	}
+	// step 0 is the identity, bit for bit.
+	o := geom.Orientation{Yaw: 1.23456789, Pitch: -0.5, Roll: 9.9}
+	if ptlut.Quantize(o, 0) != o {
+		t.Fatal("step 0 must be the identity")
+	}
+	// Quantization normalizes first: a yaw beyond π lands on the wrapped grid.
+	g := ptlut.Quantize(geom.Orientation{Yaw: 2*math.Pi + 0.1}, step)
+	if math.Abs(g.Yaw-geom.Radians(6)) > 1e-12 {
+		t.Fatalf("wrapped yaw quantized to %v, want %v", g.Yaw, geom.Radians(6))
+	}
+}
+
+// TestCacheEvictionAndBudget fills a deliberately small cache and checks
+// LRU eviction keeps bytes under budget, and that an over-budget table is
+// built, served, counted, and never inserted.
+func TestCacheEvictionAndBudget(t *testing.T) {
+	cfg := testConfig(projection.ERP, pt.Bilinear, 32, 32)
+	tbl, err := ptlut.Build(cfg, geom.Orientation{}, 64, 32, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := tbl.Bytes()
+
+	reg := telemetry.NewRegistry()
+	c := ptlut.NewCache(3*size, reg)
+	r, err := ptlut.NewRenderer(cfg, c, ptlut.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := testFrame(64, 32)
+	for i := 0; i < 6; i++ {
+		pt.Recycle(r.Render(full, geom.Orientation{Yaw: float64(i) / 10}, 1))
+	}
+	st := c.Stats()
+	if st.Bytes > 3*size {
+		t.Fatalf("cache bytes %d above budget %d", st.Bytes, 3*size)
+	}
+	if st.Entries != 3 {
+		t.Fatalf("entries = %d, want 3", st.Entries)
+	}
+	if st.Evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", st.Evictions)
+	}
+	// LRU: the most recent pose must still be resident (a hit, no build).
+	before := c.Stats().Misses
+	pt.Recycle(r.Render(full, geom.Orientation{Yaw: 0.5}, 1))
+	if c.Stats().Misses != before {
+		t.Fatal("most recently used table was evicted")
+	}
+
+	// An oversized table: budget smaller than one table.
+	small := ptlut.NewCache(size/2, nil)
+	rs, err := ptlut.NewRenderer(cfg, small, ptlut.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pt.Render(cfg, full, geom.Orientation{Yaw: 0.9})
+	got := rs.Render(full, geom.Orientation{Yaw: 0.9}, 1)
+	if !want.Equal(got) {
+		t.Fatal("oversized table must still serve correct renders")
+	}
+	sst := small.Stats()
+	if sst.Oversized != 1 || sst.Entries != 0 || sst.Bytes != 0 {
+		t.Fatalf("oversized accounting: %+v", sst)
+	}
+}
+
+// TestCacheSingleflight launches a wave of concurrent gets for one key and
+// checks exactly one build runs while everyone gets the same table.
+func TestCacheSingleflight(t *testing.T) {
+	c := ptlut.NewCache(1<<30, nil)
+	cfg := testConfig(projection.ERP, pt.Nearest, 16, 16)
+	key := ptlut.MakeKey(cfg, geom.Orientation{}, 32, 16, false)
+	var builds atomic.Int32
+	gate := make(chan struct{})
+	build := func() (*ptlut.Table, error) {
+		builds.Add(1)
+		<-gate
+		return ptlut.Build(cfg, geom.Orientation{}, 32, 16, false, 1)
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	tables := make([]*ptlut.Table, n)
+	wg.Add(n)
+	started := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			tbl, err := c.Get(key, build)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tables[i] = tbl
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-started
+	}
+	close(gate)
+	wg.Wait()
+	if got := builds.Load(); got != 1 {
+		t.Fatalf("%d builds for %d concurrent gets", got, n)
+	}
+	for i := 1; i < n; i++ {
+		if tables[i] != tables[0] {
+			t.Fatal("concurrent gets returned different tables")
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != n-1 {
+		t.Fatalf("misses=%d coalesced=%d, want 1/%d", st.Misses, st.Coalesced, n-1)
+	}
+}
+
+// TestBuildErrorNotCached pins that a failing build is reported to every
+// waiter and retried by the next Get.
+func TestBuildErrorNotCached(t *testing.T) {
+	c := ptlut.NewCache(1<<20, nil)
+	cfg := testConfig(projection.ERP, pt.Nearest, 8, 8)
+	key := ptlut.MakeKey(cfg, geom.Orientation{}, 16, 8, false)
+	calls := 0
+	fail := func() (*ptlut.Table, error) { calls++; return nil, fmt.Errorf("boom") }
+	if _, err := c.Get(key, fail); err == nil {
+		t.Fatal("want build error")
+	}
+	if _, err := c.Get(key, fail); err == nil {
+		t.Fatal("want build error on retry")
+	}
+	if calls != 2 {
+		t.Fatalf("build called %d times, want 2 (errors must not be cached)", calls)
+	}
+}
+
+// TestRendererValidation covers constructor and render-time input checks.
+func TestRendererValidation(t *testing.T) {
+	bad := pt.Config{}
+	if _, err := ptlut.NewRenderer(bad, nil, ptlut.Options{}); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+	cfg := testConfig(projection.ERP, pt.Bilinear, 8, 8)
+	if _, err := ptlut.NewRenderer(cfg, nil, ptlut.Options{QuantStep: -1}); err == nil {
+		t.Fatal("negative quant step must be rejected")
+	}
+	r, err := ptlut.NewRenderer(cfg, nil, ptlut.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RenderChecked(nil, geom.Orientation{}, 1); err == nil {
+		t.Fatal("nil input frame must be rejected")
+	}
+	if _, err := r.RenderChecked(&frame.Frame{}, geom.Orientation{}, 1); err == nil {
+		t.Fatal("empty input frame must be rejected")
+	}
+}
+
+// TestTelemetryWiring checks the evr_ptlut_* metrics land in a registry.
+func TestTelemetryWiring(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := ptlut.NewCache(1<<30, reg)
+	cfg := testConfig(projection.ERP, pt.Bilinear, 16, 16)
+	r, err := ptlut.NewRenderer(cfg, c, ptlut.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := testFrame(64, 32)
+	pt.Recycle(r.Render(full, geom.Orientation{}, 1))
+	pt.Recycle(r.Render(full, geom.Orientation{}, 1))
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"evr_ptlut_hits_total 1",
+		"evr_ptlut_misses_total 1",
+		"evr_ptlut_bytes ",
+		"evr_ptlut_build_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

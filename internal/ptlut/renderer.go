@@ -1,0 +1,114 @@
+package ptlut
+
+import (
+	"fmt"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/pt"
+)
+
+// Renderer is the LUT-backed counterpart of pt.RenderParallel: it resolves
+// each render to a mapping table (from the cache when resident, built and
+// inserted otherwise) and applies it with the branch-free sampling loops.
+// In exact mode (the zero Options) the output is byte-identical to
+// pt.RenderParallel for every pose, input frame, and worker count; the
+// quantized modes trade bounded pixel error for cross-pose table sharing
+// and a faster integer blend.
+//
+// A Renderer is safe for concurrent use; renders for different poses or
+// input sizes coexist because every table is keyed on the full mapping
+// tuple. Output frames come from the shared render buffer pool — return
+// them with pt.Recycle when done.
+type Renderer struct {
+	cfg   pt.Config
+	cache *Cache
+	opts  Options
+}
+
+// NewRenderer builds a renderer for one render configuration over a table
+// cache. cache may be nil — every render then builds its table, which still
+// exercises the identical sampling path (useful for conformance checking);
+// any real hot path wants a shared Cache. Invalid configurations are
+// reported up front.
+func NewRenderer(cfg pt.Config, cache *Cache, opts Options) (*Renderer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.QuantStep < 0 {
+		return nil, fmt.Errorf("ptlut: negative quantization step %v", opts.QuantStep)
+	}
+	return &Renderer{cfg: cfg, cache: cache, opts: opts}, nil
+}
+
+// Config returns the renderer's render configuration.
+func (r *Renderer) Config() pt.Config { return r.cfg }
+
+// Options returns the renderer's accuracy options.
+func (r *Renderer) Options() Options { return r.opts }
+
+// Exact reports whether this renderer's output is byte-identical to
+// pt.RenderParallel.
+func (r *Renderer) Exact() bool { return r.opts.Exact() }
+
+// Table returns the mapping table a render of a fullW×fullH input at pose o
+// would use, building (and caching) it if needed — the warm-up hook for
+// callers that know the pose schedule ahead of time.
+func (r *Renderer) Table(o geom.Orientation, fullW, fullH int) (*Table, error) {
+	build := Quantize(o, r.opts.QuantStep)
+	quantW := r.opts.QuantWeights && r.cfg.Filter == pt.Bilinear
+	key := MakeKey(r.cfg, build, fullW, fullH, quantW)
+	return r.cache.Get(key, func() (*Table, error) {
+		return Build(r.cfg, build, fullW, fullH, quantW, 0)
+	})
+}
+
+// Render produces the FOV frame for head orientation o from the full
+// panoramic frame, through the mapping LUT. It panics on an invalid input
+// frame; use RenderChecked to get the error instead. workers == 0 uses
+// pt.DefaultWorkers.
+func (r *Renderer) Render(full *frame.Frame, o geom.Orientation, workers int) *frame.Frame {
+	out, err := r.RenderChecked(full, o, workers)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// RenderChecked is Render with up-front validation.
+func (r *Renderer) RenderChecked(full *frame.Frame, o geom.Orientation, workers int) (*frame.Frame, error) {
+	if full == nil || full.W <= 0 || full.H <= 0 {
+		return nil, fmt.Errorf("ptlut: input frame must be non-empty")
+	}
+	tbl, err := r.Table(o, full.W, full.H)
+	if err != nil {
+		return nil, err
+	}
+	h := r.cfg.Viewport.Height
+	if workers <= 0 {
+		workers = pt.DefaultWorkers()
+	}
+	if workers > h {
+		workers = h
+	}
+	out := pt.NewPooledFrame(r.cfg.Viewport.Width, h)
+	if workers <= 1 {
+		tbl.Apply(full, out, 0, h)
+		return out, nil
+	}
+	done := make(chan struct{}, workers)
+	for b := 0; b < workers; b++ {
+		j0, j1 := b*h/workers, (b+1)*h/workers
+		go func() {
+			tbl.Apply(full, out, j0, j1)
+			done <- struct{}{}
+		}()
+	}
+	for b := 0; b < workers; b++ {
+		<-done
+	}
+	return out, nil
+}
+
+// Stats snapshots the underlying cache (zeros when cache is nil).
+func (r *Renderer) Stats() CacheStats { return r.cache.Stats() }

@@ -1,0 +1,255 @@
+package ptlut
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/pt"
+)
+
+// sampleMode selects which per-pixel layout a table carries and which apply
+// loop consumes it. The mode is fixed at build time so the render inner
+// loops stay branch-free: one tight loop per mode, no per-pixel dispatch.
+type sampleMode uint8
+
+const (
+	// modeNearest: one packed source byte-offset per output pixel.
+	modeNearest sampleMode = iota
+	// modeBilinearExact: four tap offsets plus float64 blend fractions —
+	// the arithmetic of frame.BilinearAt reproduced term for term, so the
+	// output is byte-identical to the unmemoized render.
+	modeBilinearExact
+	// modeBilinearQuant: four tap offsets plus 8-bit fixed-point weights,
+	// sampled with integer arithmetic.
+	modeBilinearQuant
+)
+
+// Table is one memoized per-pixel mapping: for every output pixel, the
+// input texels to read (as precomputed byte offsets into the source Pix
+// slice, with the projection's clamp/wrap edge policy already applied) and
+// the blend weights to combine them with. A table is immutable after Build
+// and safe for concurrent use by any number of renders.
+type Table struct {
+	key  Key
+	w, h int
+	mode sampleMode
+
+	// modeNearest: idx[p] is the byte offset of output pixel p's source
+	// texel.
+	idx []int32
+	// modeBilinear*: taps[4p..4p+3] are the byte offsets of the 2×2
+	// neighborhood (x0y0, x1y0, x0y1, x1y1).
+	taps []int32
+	// modeBilinearExact: the fractional parts of the mapped coordinate,
+	// full float64 precision — what frame.BilinearAt derives from (u, v).
+	fx, fy []float64
+	// modeBilinearQuant: weights scaled to [0, 256] (Q8 fixed point).
+	wx, wy []uint16
+}
+
+// Key returns the identity the table was built for.
+func (t *Table) Key() Key { return t.key }
+
+// tableOverhead approximates the fixed per-table heap cost (struct, slice
+// headers, cache bookkeeping) charged against the byte budget.
+const tableOverhead = 160
+
+// Bytes returns the table's memory footprint — the quantity the cache
+// budget bounds.
+func (t *Table) Bytes() int64 {
+	return tableOverhead +
+		4*int64(len(t.idx)) +
+		4*int64(len(t.taps)) +
+		8*int64(len(t.fx)) + 8*int64(len(t.fy)) +
+		2*int64(len(t.wx)) + 2*int64(len(t.wy))
+}
+
+// Build runs the perspective-update and mapping stages once for every
+// output pixel of cfg at build pose o over a fullW×fullH input and memoizes
+// the result. quantWeights selects the compact fixed-point bilinear layout
+// (ignored for the nearest filter). Rows are fanned out across the worker
+// pool; the table content is deterministic for any worker count.
+func Build(cfg pt.Config, o geom.Orientation, fullW, fullH int, quantWeights bool, workers int) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if fullW <= 0 || fullH <= 0 {
+		return nil, fmt.Errorf("ptlut: input dims %dx%d must be positive", fullW, fullH)
+	}
+	w, h := cfg.Viewport.Width, cfg.Viewport.Height
+	t := &Table{
+		key:  MakeKey(cfg, o, fullW, fullH, quantWeights && cfg.Filter == pt.Bilinear),
+		w:    w,
+		h:    h,
+		mode: modeNearest,
+	}
+	switch {
+	case cfg.Filter != pt.Bilinear:
+		t.idx = make([]int32, w*h)
+	case quantWeights:
+		t.mode = modeBilinearQuant
+		t.taps = make([]int32, 4*w*h)
+		t.wx = make([]uint16, w*h)
+		t.wy = make([]uint16, w*h)
+	default:
+		t.mode = modeBilinearExact
+		t.taps = make([]int32, 4*w*h)
+		t.fx = make([]float64, w*h)
+		t.fy = make([]float64, w*h)
+	}
+
+	if workers <= 0 {
+		workers = pt.DefaultWorkers()
+	}
+	if workers > h {
+		workers = h
+	}
+	if workers <= 1 {
+		t.buildRows(cfg, o, fullW, fullH, 0, h)
+		return t, nil
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < workers; b++ {
+		j0, j1 := b*h/workers, (b+1)*h/workers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t.buildRows(cfg, o, fullW, fullH, j0, j1)
+		}()
+	}
+	wg.Wait()
+	return t, nil
+}
+
+// buildRows fills the table entries of output rows [j0, j1). Each entry
+// reproduces exactly the texel choice pt.Config.Sample would make at the
+// mapped coordinate: round-to-nearest for the nearest filter, the floor 2×2
+// neighborhood for bilinear, with ERP's horizontal wrap or the cubemap
+// layouts' border clamp baked into the packed offsets.
+func (t *Table) buildRows(cfg pt.Config, o geom.Orientation, fullW, fullH, j0, j1 int) {
+	m := cfg.NewMapper(o, fullW, fullH)
+	wrap := cfg.Projection == projection.ERP
+	for j := j0; j < j1; j++ {
+		for i := 0; i < t.w; i++ {
+			p := j*t.w + i
+			u, v := m.Map(i, j)
+			if t.mode == modeNearest {
+				t.idx[p] = packOffset(fullW, fullH, wrap, int(math.Round(u)), int(math.Round(v)))
+				continue
+			}
+			x0 := int(math.Floor(u))
+			y0 := int(math.Floor(v))
+			fx := u - float64(x0)
+			fy := v - float64(y0)
+			t.taps[4*p+0] = packOffset(fullW, fullH, wrap, x0, y0)
+			t.taps[4*p+1] = packOffset(fullW, fullH, wrap, x0+1, y0)
+			t.taps[4*p+2] = packOffset(fullW, fullH, wrap, x0, y0+1)
+			t.taps[4*p+3] = packOffset(fullW, fullH, wrap, x0+1, y0+1)
+			if t.mode == modeBilinearQuant {
+				t.wx[p] = uint16(math.Round(fx * 256))
+				t.wy[p] = uint16(math.Round(fy * 256))
+			} else {
+				t.fx[p] = fx
+				t.fy[p] = fy
+			}
+		}
+	}
+}
+
+// packOffset resolves integer texel coordinates to a byte offset into the
+// source Pix slice under the frame's edge policy: x wraps modulo the width
+// for ERP (frame.AtWrapX) and clamps otherwise (frame.At); y always clamps.
+func packOffset(w, h int, wrapX bool, x, y int) int32 {
+	if wrapX {
+		x %= w
+		if x < 0 {
+			x += w
+		}
+	} else if x < 0 {
+		x = 0
+	} else if x >= w {
+		x = w - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= h {
+		y = h - 1
+	}
+	return int32((y*w + x) * 3)
+}
+
+// Apply renders output rows [j0, j1) of out by sampling full through the
+// table. Rows are independent; disjoint bands of one output frame may apply
+// concurrently. The caller guarantees full matches the table's input dims
+// and out its viewport dims (the Renderer enforces both via the key).
+//
+// The loops below are the rewritten PT hot path: no per-pixel branches, no
+// bounds-checked At calls, no coordinate math — just sequential row-batched
+// writes into out.Pix fed by gathers at precomputed offsets.
+func (t *Table) Apply(full *frame.Frame, out *frame.Frame, j0, j1 int) {
+	src := full.Pix
+	dst := out.Pix
+	lo, hi := j0*t.w, j1*t.w
+	switch t.mode {
+	case modeNearest:
+		idx := t.idx
+		for p := lo; p < hi; p++ {
+			s := int(idx[p])
+			d := p * 3
+			dst[d] = src[s]
+			dst[d+1] = src[s+1]
+			dst[d+2] = src[s+2]
+		}
+	case modeBilinearExact:
+		taps, fxs, fys := t.taps, t.fx, t.fy
+		for p := lo; p < hi; p++ {
+			q := 4 * p
+			a, b := int(taps[q]), int(taps[q+1])
+			c, d := int(taps[q+2]), int(taps[q+3])
+			fx, fy := fxs[p], fys[p]
+			gx, gy := 1-fx, 1-fy
+			o := p * 3
+			// Term-for-term the arithmetic of frame.BilinearAt's lerp2,
+			// which the byte-identity gate depends on.
+			top := float64(src[a])*gx + float64(src[b])*fx
+			bot := float64(src[c])*gx + float64(src[d])*fx
+			dst[o] = clampRound(top*gy + bot*fy)
+			top = float64(src[a+1])*gx + float64(src[b+1])*fx
+			bot = float64(src[c+1])*gx + float64(src[d+1])*fx
+			dst[o+1] = clampRound(top*gy + bot*fy)
+			top = float64(src[a+2])*gx + float64(src[b+2])*fx
+			bot = float64(src[c+2])*gx + float64(src[d+2])*fx
+			dst[o+2] = clampRound(top*gy + bot*fy)
+		}
+	case modeBilinearQuant:
+		taps, wxs, wys := t.taps, t.wx, t.wy
+		for p := lo; p < hi; p++ {
+			q := 4 * p
+			a, b := int(taps[q]), int(taps[q+1])
+			c, d := int(taps[q+2]), int(taps[q+3])
+			wx, wy := uint32(wxs[p]), uint32(wys[p])
+			gx, gy := 256-wx, 256-wy
+			o := p * 3
+			// Q8×Q8 blend: intermediates stay under 2^25, rounded at 2^16.
+			top := uint32(src[a])*gx + uint32(src[b])*wx
+			bot := uint32(src[c])*gx + uint32(src[d])*wx
+			dst[o] = byte((top*gy + bot*wy + 1<<15) >> 16)
+			top = uint32(src[a+1])*gx + uint32(src[b+1])*wx
+			bot = uint32(src[c+1])*gx + uint32(src[d+1])*wx
+			dst[o+1] = byte((top*gy + bot*wy + 1<<15) >> 16)
+			top = uint32(src[a+2])*gx + uint32(src[b+2])*wx
+			bot = uint32(src[c+2])*gx + uint32(src[d+2])*wx
+			dst[o+2] = byte((top*gy + bot*wy + 1<<15) >> 16)
+		}
+	}
+}
+
+// clampRound is frame.BilinearAt's output conversion: clamp to [0, 255],
+// round half away from zero, narrow to a byte.
+func clampRound(v float64) byte {
+	return byte(math.Round(math.Min(255, math.Max(0, v))))
+}

@@ -23,6 +23,7 @@ import (
 	"evr/internal/geom"
 	"evr/internal/projection"
 	"evr/internal/pt"
+	"evr/internal/ptlut"
 	"evr/internal/sas"
 	"evr/internal/scene"
 	"evr/internal/store"
@@ -65,6 +66,18 @@ type IngestConfig struct {
 	// GOMAXPROCS. The manifest and every stored payload are byte-identical
 	// for all worker counts.
 	Workers int
+
+	// UseLUT pre-renders FOV videos through the exact-mode mapping-LUT
+	// cache. Cluster trajectories repeat orientations frame to frame (a
+	// carried-forward track keeps its previous centroid), so consecutive
+	// frames of a cluster reuse one table instead of re-running the mapping
+	// stage per frame. Exact mode only: every stored payload stays
+	// byte-identical to the unmemoized pipeline.
+	UseLUT bool
+	// LUTCache optionally shares the mapping-table cache with other ingests
+	// (or the playback side). nil with UseLUT set builds a per-ingest cache
+	// with the default byte budget.
+	LUTCache *ptlut.Cache
 }
 
 // workerCount resolves Workers to an effective pool size.
@@ -200,6 +213,20 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 	}
 	vp := cfg.viewport()
 	ptCfg := pt.Config{Projection: cfg.Projection, Filter: pt.Bilinear, Viewport: vp}
+	var lut *ptlut.Renderer
+	if cfg.UseLUT {
+		cache := cfg.LUTCache
+		if cache == nil {
+			cache = ptlut.NewCache(0, nil)
+		}
+		// Exact mode: stored payloads must not depend on whether the LUT
+		// path was enabled.
+		var err error
+		lut, err = ptlut.NewRenderer(ptCfg, cache, ptlut.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	for si := 0; si < nSegs; si++ {
 		start := si * cfg.SAS.SegmentFrames
@@ -250,7 +277,7 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 			innerWorkers = (cfg.workerCount() + len(tracks) - 1) / len(tracks)
 		}
 		err = parallelFor(len(tracks), cfg.workerCount(), func(ci int) error {
-			rc, err := preRenderCluster(v, cfg, ptCfg, full, si, ci, tracks[ci], innerWorkers)
+			rc, err := preRenderCluster(v, cfg, ptCfg, lut, full, si, ci, tracks[ci], innerWorkers)
 			if err != nil {
 				return err
 			}
@@ -371,8 +398,10 @@ type renderedCluster struct {
 
 // preRenderCluster pre-renders and encodes one cluster's FOV video from its
 // per-frame trajectory orientations. It only reads shared state, so clusters
-// of a segment pre-render concurrently.
-func preRenderCluster(v scene.VideoSpec, cfg IngestConfig, ptCfg pt.Config,
+// of a segment pre-render concurrently. A non-nil lut routes the per-frame
+// PT through the mapping-LUT cache (byte-identical in exact mode; a cluster
+// whose track holds one orientation builds its table once).
+func preRenderCluster(v scene.VideoSpec, cfg IngestConfig, ptCfg pt.Config, lut *ptlut.Renderer,
 	full []*frame.Frame, si, ci int, centers []geom.Orientation, workers int) (renderedCluster, error) {
 
 	fovFrames := make([]*frame.Frame, len(full))
@@ -381,7 +410,13 @@ func preRenderCluster(v scene.VideoSpec, cfg IngestConfig, ptCfg pt.Config,
 		o := centers[f]
 		meta[f] = FrameMeta{Yaw: o.Yaw, Pitch: o.Pitch}
 		// Server-side PT: the pre-rendering that spares the client (§5.2).
-		fov, err := pt.RenderParallelChecked(ptCfg, full[f], o, workers)
+		var fov *frame.Frame
+		var err error
+		if lut != nil {
+			fov, err = lut.RenderChecked(full[f], o, workers)
+		} else {
+			fov, err = pt.RenderParallelChecked(ptCfg, full[f], o, workers)
+		}
 		if err != nil {
 			return renderedCluster{}, fmt.Errorf("server: pre-rendering FOV video %d/%d of %s: %w", si, ci, v.Name, err)
 		}

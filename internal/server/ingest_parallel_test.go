@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"evr/internal/ptlut"
 	"evr/internal/scene"
 	"evr/internal/store"
 )
@@ -53,6 +54,69 @@ func TestIngestDeterministicAcrossWorkerCounts(t *testing.T) {
 				t.Errorf("payload for %s differs between worker counts", key)
 			}
 		}
+	}
+}
+
+// TestIngestLUTByteIdentical pins the UseLUT wiring: routing the per-frame
+// pre-render PT through the exact-mode mapping-LUT cache changes no stored
+// byte — manifest, original segments, FOV videos, and metadata all match
+// the unmemoized pipeline, across worker counts.
+func TestIngestLUTByteIdentical(t *testing.T) {
+	v, _ := scene.ByName("RS")
+
+	base := smallIngest()
+	baseSt := store.New()
+	baseMan, err := Ingest(v, base, baseSt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJSON, _ := json.Marshal(baseMan)
+
+	for _, workers := range []int{1, 4} {
+		cfg := smallIngest()
+		cfg.Workers = workers
+		cfg.UseLUT = true
+		st := store.New()
+		man, err := Ingest(v, cfg, st)
+		if err != nil {
+			t.Fatalf("UseLUT workers=%d: %v", workers, err)
+		}
+		mj, _ := json.Marshal(man)
+		if string(mj) != string(baseJSON) {
+			t.Errorf("UseLUT workers=%d: manifest differs from reference ingest", workers)
+		}
+		for _, seg := range baseMan.Segments {
+			keys := []string{origKey(v.Name, seg.Index)}
+			for _, cl := range seg.Clusters {
+				keys = append(keys, fovKey(v.Name, seg.Index, cl.ID))
+			}
+			for _, key := range keys {
+				ap, am, aok := baseSt.Get(key)
+				bp, bm, bok := st.Get(key)
+				if !aok || !bok {
+					t.Fatalf("missing key %s: %v / %v", key, aok, bok)
+				}
+				if string(ap) != string(bp) || string(am) != string(bm) {
+					t.Errorf("UseLUT workers=%d: payload for %s differs", workers, key)
+				}
+			}
+		}
+	}
+
+	// A shared cache across ingests of the same video must see exact-pose
+	// reuse: the second ingest renders the same trajectories.
+	cache := ptlut.NewCache(0, nil)
+	for i := 0; i < 2; i++ {
+		cfg := smallIngest()
+		cfg.UseLUT = true
+		cfg.LUTCache = cache
+		if _, err := Ingest(v, cfg, store.New()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Errorf("re-ingest through a shared LUT cache produced no table hits: %+v", st)
 	}
 }
 

@@ -45,6 +45,7 @@ type RespCacheStats struct {
 	Misses    int64 `json:"misses"`    // loaded from the store (one per flight)
 	Coalesced int64 `json:"coalesced"` // requests that joined an in-flight identical miss
 	Evictions int64 `json:"evictions"` // entries dropped to stay under the byte budget
+	Oversized int64 `json:"oversized"` // payloads larger than the whole budget (served, never cached)
 	Entries   int64 `json:"entries"`   // live cached payloads
 	Bytes     int64 `json:"bytes"`     // live cached payload bytes
 	MaxBytes  int64 `json:"maxBytes"`  // configured budget
@@ -86,6 +87,7 @@ type respCache struct {
 	misses    *telemetry.Counter
 	coalesced *telemetry.Counter
 	evictions *telemetry.Counter
+	oversized *telemetry.Counter
 	entriesG  *telemetry.Gauge
 	bytesG    *telemetry.Gauge
 
@@ -108,6 +110,7 @@ const (
 	promRespMisses    = "evr_respcache_misses_total"
 	promRespCoalesced = "evr_respcache_coalesced_total"
 	promRespEvictions = "evr_respcache_evictions_total"
+	promRespOversized = "evr_respcache_oversized_total"
 	promRespEntries   = "evr_respcache_entries"
 	promRespBytes     = "evr_respcache_bytes"
 	promThrottled     = "evr_http_throttled_total"
@@ -124,6 +127,7 @@ func newRespCache(maxBytes int64, reg *telemetry.Registry) *respCache {
 	reg.SetHelp(promRespMisses, "segment responses loaded from the store")
 	reg.SetHelp(promRespCoalesced, "segment requests that joined an in-flight identical load")
 	reg.SetHelp(promRespEvictions, "response-cache entries evicted under the byte budget")
+	reg.SetHelp(promRespOversized, "payloads larger than the whole cache budget (served, never cached)")
 	reg.SetHelp(promRespEntries, "live response-cache entries")
 	reg.SetHelp(promRespBytes, "live response-cache payload bytes")
 	return &respCache{
@@ -131,6 +135,7 @@ func newRespCache(maxBytes int64, reg *telemetry.Registry) *respCache {
 		misses:    reg.Counter(promRespMisses),
 		coalesced: reg.Counter(promRespCoalesced),
 		evictions: reg.Counter(promRespEvictions),
+		oversized: reg.Counter(promRespOversized),
 		entriesG:  reg.Gauge(promRespEntries),
 		bytesG:    reg.Gauge(promRespBytes),
 		maxBytes:  maxBytes,
@@ -178,9 +183,13 @@ func (c *respCache) get(key respKey, load func() ([]byte, bool)) ([]byte, bool) 
 }
 
 // insertLocked adds an entry and evicts LRU entries past the byte budget.
-// Payloads larger than the whole budget are served but never cached.
+// Payloads larger than the whole budget are served but never cached —
+// inserting one would evict everything resident and still bust the budget —
+// and counted, so a budget sized below the working payload size is visible
+// in telemetry instead of masquerading as a 0% hit rate.
 func (c *respCache) insertLocked(key respKey, data []byte) {
 	if int64(len(data)) > c.maxBytes {
+		c.oversized.Inc()
 		return
 	}
 	if el, ok := c.items[key]; ok {
@@ -236,6 +245,7 @@ func (c *respCache) stats() RespCacheStats {
 		Misses:    c.misses.Value(),
 		Coalesced: c.coalesced.Value(),
 		Evictions: c.evictions.Value(),
+		Oversized: c.oversized.Value(),
 		Entries:   entries,
 		Bytes:     bytes,
 		MaxBytes:  maxBytes,

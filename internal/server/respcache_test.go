@@ -95,8 +95,46 @@ func TestRespCacheOversizedPayloadServedNotCached(t *testing.T) {
 	if loads != 2 {
 		t.Errorf("oversized payload cached (%d loads)", loads)
 	}
-	if st := c.stats(); st.Entries != 0 || st.Bytes != 0 {
+	st := c.stats()
+	if st.Entries != 0 || st.Bytes != 0 {
 		t.Errorf("oversized payload counted: %+v", st)
+	}
+	// Each rejected insert is visible in the oversized counter, and none of
+	// them churned resident entries to make room for a payload that could
+	// never fit.
+	if st.Oversized != 2 {
+		t.Errorf("Oversized = %d, want 2", st.Oversized)
+	}
+	if st.Evictions != 0 {
+		t.Errorf("oversized payload evicted residents: %+v", st)
+	}
+}
+
+// TestRespCacheOversizedDoesNotEvictResidents pins that an over-budget
+// payload is rejected up front: the small entries already resident survive
+// it untouched.
+func TestRespCacheOversizedDoesNotEvictResidents(t *testing.T) {
+	c := newTestRespCache(100)
+	small := []byte("0123456789")
+	for i := 0; i < 3; i++ {
+		c.get(rk("v", i), func() ([]byte, bool) { return small, true })
+	}
+	huge := make([]byte, 101)
+	c.get(rk("v", 99), func() ([]byte, bool) { return huge, true })
+	st := c.stats()
+	if st.Entries != 3 || st.Bytes != 30 {
+		t.Fatalf("residents disturbed by oversized insert: %+v", st)
+	}
+	if st.Oversized != 1 || st.Evictions != 0 {
+		t.Fatalf("oversized accounting: %+v", st)
+	}
+	// All three residents still answer from cache.
+	hitsBefore := st.Hits
+	for i := 0; i < 3; i++ {
+		c.get(rk("v", i), func() ([]byte, bool) { t.Fatal("resident reloaded"); return nil, false })
+	}
+	if got := c.stats().Hits - hitsBefore; got != 3 {
+		t.Fatalf("residents hit %d times, want 3", got)
 	}
 }
 
