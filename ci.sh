@@ -25,6 +25,12 @@
 # size — measure, write JSON, schema-check it — then schema-checks the
 # committed full-size BENCH_evrbench.json artifact (regenerate it with
 # `go run ./cmd/evrbench -lut`).
+#
+# The routed-path smoke (PR 7) drives the sharded serving tier end to
+# end: 2 shards behind the consistent-hash router with an edge cache,
+# Zipf video popularity, shard 0 killed at pass 2, and -verify-single as
+# the checksum gate — the run fails unless every user's displayed frames
+# through the router are byte-identical to a single-server replay.
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -40,3 +46,5 @@ go run ./cmd/evrconform
 go run ./cmd/evrbench -lut -lut-width 256 -lut-frames 2 -users 2 -bench-out "${TMPDIR:-/tmp}/bench_lut_smoke.json"
 go run ./cmd/evrbench -bench-check "${TMPDIR:-/tmp}/bench_lut_smoke.json"
 go run ./cmd/evrbench -bench-check BENCH_evrbench.json
+go run ./cmd/evrload -shards 2 -zipf 1.1 -zipf-videos 2 -users 8 -passes 2 \
+    -segments 1 -width 96 -viewport-scale 32 -kill-shard 0 -kill-pass 2 -verify-single

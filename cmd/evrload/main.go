@@ -16,6 +16,15 @@
 //	        [-respcache 64] [-max-inflight 0] [-store-delay 0]
 //	        [-har] [-resilient] [-timeout 10s] [-retries 3] [-cache 8]
 //	        [-prefetch] [-per-user]
+//
+// Cluster mode (-shards N) serves in-process through a consistent-hash
+// router over N shard replicas with an edge cache, reporting per-shard
+// load skew and edge hit rate per pass:
+//
+//	evrload -shards 3 [-edge-cache 32] [-vnodes 64]
+//	        [-zipf 1.1 -zipf-videos 3]
+//	        [-kill-shard 0 -kill-pass 2]
+//	        [-verify-single]
 package main
 
 import (
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"evr/internal/client"
+	"evr/internal/cluster"
 	"evr/internal/loadgen"
 	"evr/internal/scene"
 	"evr/internal/server"
@@ -50,11 +60,27 @@ func main() {
 	cache := flag.Int("cache", client.DefaultFetchConfig().CacheSegments, "per-session decoded-segment LRU capacity (0 = off)")
 	prefetch := flag.Bool("prefetch", true, "prefetch the next segment in the background")
 	perUser := flag.Bool("per-user", false, "print one result row per session")
+	shards := flag.Int("shards", 0, "serve in-process through an N-shard consistent-hash cluster (0 = single server)")
+	edgeCache := flag.Int64("edge-cache", 32, "cluster router edge-cache budget in MiB (≤ 0 = off)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the ring (0 = default)")
+	zipf := flag.Float64("zipf", 0, "Zipf video-popularity exponent over the first -zipf-videos catalog entries (0 = single video)")
+	zipfVideos := flag.Int("zipf-videos", 3, "catalog videos in the Zipf draw (most popular first)")
+	killShard := flag.Int("kill-shard", -1, "kill this shard at the start of -kill-pass (cluster mode)")
+	killPass := flag.Int("kill-pass", 2, "pass at whose start -kill-shard dies")
+	verifySingle := flag.Bool("verify-single", false, "replay the cluster run against a single server and require identical per-user frame checksums")
 	flag.Parse()
 
 	v, ok := scene.ByName(*video)
 	if !ok {
 		log.Fatalf("unknown video %q (catalog: Elephant, Paris, RS, NYC, Rhino, Timelapse)", *video)
+	}
+	specs := []scene.VideoSpec{v}
+	if *zipf > 0 {
+		catalog := scene.Catalog()
+		if *zipfVideos < 1 || *zipfVideos > len(catalog) {
+			log.Fatalf("-zipf-videos %d out of range [1,%d]", *zipfVideos, len(catalog))
+		}
+		specs = catalog[:*zipfVideos]
 	}
 
 	cfg := loadgen.Config{
@@ -67,6 +93,10 @@ func main() {
 		ViewportScale: *viewportScale,
 		UseHAR:        *har,
 		Resilient:     *resilient,
+		ZipfExponent:  *zipf,
+	}
+	if len(specs) > 1 {
+		cfg.Specs = specs
 	}
 	fetch := client.DefaultFetchConfig()
 	fetch.Timeout = *timeout
@@ -75,23 +105,78 @@ func main() {
 	fetch.Prefetch = *prefetch
 	cfg.Fetch = &fetch
 
-	if *url == "" {
-		opts := server.DefaultServiceOptions()
-		opts.RespCacheBytes = *respcache << 20
-		opts.MaxInFlight = *maxInflight
-		opts.StoreDelay = *storeDelay
-		svc := server.NewServiceOpts(store.New(), opts)
+	opts := server.DefaultServiceOptions()
+	opts.RespCacheBytes = *respcache << 20
+	opts.MaxInFlight = *maxInflight
+	opts.StoreDelay = *storeDelay
+	ingest := server.DefaultIngestConfig()
+	ingest.FullW = *width - *width%8
+	ingest.FullH = ingest.FullW / 2
+	ingest.MaxSegments = *segments
 
-		ingest := server.DefaultIngestConfig()
-		ingest.FullW = *width - *width%8
-		ingest.FullH = ingest.FullW / 2
-		ingest.MaxSegments = *segments
-		start := time.Now()
-		if _, err := svc.IngestVideo(v, ingest); err != nil {
-			log.Fatalf("ingesting %s: %v", *video, err)
+	var clu *cluster.Cluster
+	switch {
+	case *url != "":
+		// Remote target: flags below are in-process only.
+
+	case *shards > 0:
+		copts := cluster.Options{
+			Shards:       *shards,
+			VirtualNodes: *vnodes,
+			Shard:        opts,
 		}
-		log.Printf("ingested %s in-process (%d segments at %dx%d) in %v",
-			*video, *segments, ingest.FullW, ingest.FullH, time.Since(start).Round(time.Millisecond))
+		if *edgeCache > 0 {
+			copts.EdgeCacheBytes = *edgeCache << 20
+		} else {
+			copts.EdgeCacheBytes = -1 // 0 or negative MiB: no edge tier
+		}
+		var err error
+		clu, err = cluster.New(store.New(), copts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for _, spec := range specs {
+			if _, err := clu.Ingest(spec, ingest); err != nil {
+				log.Fatalf("ingesting %s: %v", spec.Name, err)
+			}
+		}
+		log.Printf("ingested %d video(s) across %d shards in %v",
+			len(specs), *shards, time.Since(start).Round(time.Millisecond))
+
+		baseURL, shutdown, err := loadgen.ServeHandler(clu.Handler())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shutdown()
+		log.Printf("routing on %s (%d shards, edge cache %d MiB, respcache %d MiB/shard)",
+			baseURL, *shards, *edgeCache, *respcache)
+		cfg.BaseURL = baseURL
+		cfg.Cluster = clu
+		if *killShard >= 0 {
+			if *killShard >= *shards {
+				log.Fatalf("-kill-shard %d out of range [0,%d)", *killShard, *shards)
+			}
+			cfg.OnPassStart = func(pass int) {
+				if pass == *killPass {
+					log.Printf("killing shard %d at pass %d", *killShard, pass)
+					if err := clu.KillShard(*killShard); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}
+
+	default:
+		svc := server.NewServiceOpts(store.New(), opts)
+		start := time.Now()
+		for _, spec := range specs {
+			if _, err := svc.IngestVideo(spec, ingest); err != nil {
+				log.Fatalf("ingesting %s: %v", spec.Name, err)
+			}
+		}
+		log.Printf("ingested %d video(s) in-process (%d segments at %dx%d) in %v",
+			len(specs), *segments, ingest.FullW, ingest.FullH, time.Since(start).Round(time.Millisecond))
 
 		baseURL, shutdown, err := loadgen.Serve(svc)
 		if err != nil {
@@ -113,4 +198,64 @@ func main() {
 		fmt.Fprintf(os.Stderr, "evrload: %d/%d sessions failed\n", len(fails), len(rep.Results))
 		os.Exit(1)
 	}
+
+	if *verifySingle {
+		if clu == nil {
+			log.Fatal("-verify-single requires cluster mode (-shards N, no -url)")
+		}
+		if err := verifyAgainstSingle(clu, specs, cfg, opts, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "evrload: single-server verification FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("verify-single: routed playback byte-identical to single-server for all %d users", *users)
+	}
+}
+
+// verifyAgainstSingle replays the run against one plain server over the
+// cluster's store (manifests re-published, no re-ingest) and requires every
+// user's displayed-frame checksum to match the routed run — the gate that
+// proves the sharded tier never changes pixels.
+func verifyAgainstSingle(clu *cluster.Cluster, specs []scene.VideoSpec, cfg loadgen.Config, opts server.ServiceOptions, routed *loadgen.Report) error {
+	svc := server.NewServiceOpts(clu.Store(), opts)
+	for _, spec := range specs {
+		man, ok := clu.Shard(0).Manifest(spec.Name)
+		if !ok {
+			return fmt.Errorf("shard 0 has no manifest for %s", spec.Name)
+		}
+		svc.Publish(man)
+	}
+	baseURL, shutdown, err := loadgen.ServeHandler(svc.Handler())
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	single := cfg
+	single.BaseURL = baseURL
+	single.Cluster = nil
+	single.Service = svc
+	single.OnPassStart = nil
+	single.Passes = 1
+	ref, err := loadgen.Run(single)
+	if err != nil {
+		return err
+	}
+
+	want := map[int]uint64{}
+	for _, r := range ref.Results {
+		if r.Err != nil {
+			return fmt.Errorf("single-server user %d failed: %v", r.User, r.Err)
+		}
+		want[r.User] = r.Checksum
+	}
+	for _, r := range routed.Results {
+		if r.Err != nil {
+			return fmt.Errorf("routed user %d pass %d failed: %v", r.User, r.Pass, r.Err)
+		}
+		if r.Checksum != want[r.User] {
+			return fmt.Errorf("user %d pass %d: routed checksum %#x != single-server %#x",
+				r.User, r.Pass, r.Checksum, want[r.User])
+		}
+	}
+	return nil
 }

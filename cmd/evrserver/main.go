@@ -7,6 +7,12 @@
 //	evrserver [-addr :8090] [-videos RS,Timelapse] [-segments 4] [-width 192]
 //	          [-respcache 64] [-max-inflight 0] [-retry-after 1s]
 //	          [-pprof localhost:6060]
+//	          [-shards 3] [-edge-cache 32] [-vnodes 64]
+//
+// With -shards N the process serves through the consistent-hash routed
+// tier (internal/cluster): N shard replicas over one store behind a
+// router with an edge cache. The HTTP surface is unchanged — clients
+// can't tell a cluster from a single server.
 //
 // Endpoints: /videos, /v/{video}/manifest, /v/{video}/orig/{seg},
 // /v/{video}/fov/{seg}/{cluster}, /v/{video}/fovmeta/{seg}/{cluster}, and
@@ -24,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"evr/internal/cluster"
 	"evr/internal/ptlut"
 	"evr/internal/scene"
 	"evr/internal/server"
@@ -42,6 +49,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "admission limit on concurrent segment requests (0 = unlimited)")
 	retryAfter := flag.Duration("retry-after", server.DefaultServiceOptions().RetryAfter, "Retry-After hint on shed (503) responses")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+	shards := flag.Int("shards", 0, "serve through an N-shard consistent-hash routed tier (0 = single server)")
+	edgeCache := flag.Int64("edge-cache", 32, "router edge-cache budget in MiB with -shards (≤ 0 = off)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the ring (0 = default)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -77,7 +87,33 @@ func main() {
 	opts.RespCacheBytes = *respcache << 20
 	opts.MaxInFlight = *maxInflight
 	opts.RetryAfter = *retryAfter
-	svc := server.NewServiceOpts(st, opts)
+
+	// Single-server and routed-cluster targets expose the same ingest and
+	// HTTP surface; -shards only swaps what sits behind it.
+	var (
+		ingestOne func(scene.VideoSpec) (*server.Manifest, error)
+		handler   http.Handler
+	)
+	if *shards > 0 {
+		copts := cluster.Options{Shards: *shards, VirtualNodes: *vnodes, Shard: opts}
+		if *edgeCache > 0 {
+			copts.EdgeCacheBytes = *edgeCache << 20
+		} else {
+			copts.EdgeCacheBytes = -1
+		}
+		clu, err := cluster.New(st, copts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ingestOne = func(v scene.VideoSpec) (*server.Manifest, error) { return clu.Ingest(v, cfg) }
+		handler = clu.Handler()
+		log.Printf("routed tier: %d shards, %d virtual nodes, edge cache %d MiB", *shards, *vnodes, *edgeCache)
+	} else {
+		svc := server.NewServiceOpts(st, opts)
+		ingestOne = func(v scene.VideoSpec) (*server.Manifest, error) { return svc.IngestVideo(v, cfg) }
+		handler = svc.Handler()
+	}
+
 	for _, name := range strings.Split(*videos, ",") {
 		name = strings.TrimSpace(name)
 		v, ok := scene.ByName(name)
@@ -85,7 +121,7 @@ func main() {
 			log.Fatalf("unknown video %q (catalog: Elephant, Paris, RS, NYC, Rhino, Timelapse)", name)
 		}
 		start := time.Now()
-		man, err := svc.IngestVideo(v, cfg)
+		man, err := ingestOne(v)
 		if err != nil {
 			log.Fatalf("ingesting %s: %v", name, err)
 		}
@@ -94,21 +130,21 @@ func main() {
 			fovVideos += len(s.Clusters)
 		}
 		log.Printf("ingested %s: %d segments, %d FOV videos, %s store, %v",
-			name, len(man.Segments), fovVideos, byteSize(svc.Store().DataBytes()), time.Since(start).Round(time.Millisecond))
+			name, len(man.Segments), fovVideos, byteSize(st.DataBytes()), time.Since(start).Round(time.Millisecond))
 	}
 	if *snapshot != "" {
 		f, err := os.Create(*snapshot)
 		if err != nil {
 			log.Fatalf("creating snapshot: %v", err)
 		}
-		if _, err := svc.Store().WriteTo(f); err != nil {
+		if _, err := st.WriteTo(f); err != nil {
 			log.Fatalf("writing snapshot: %v", err)
 		}
 		f.Close()
 		log.Printf("saved store snapshot %s", *snapshot)
 	}
 	log.Printf("EVR server listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, svc.Handler()))
+	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
 func byteSize(n int64) string {

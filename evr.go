@@ -25,9 +25,12 @@
 package evr
 
 import (
+	"net/http"
+
 	"evr/internal/abr"
 	"evr/internal/capture"
 	"evr/internal/client"
+	"evr/internal/cluster"
 	"evr/internal/conformance"
 	"evr/internal/core"
 	"evr/internal/experiments"
@@ -178,6 +181,37 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) { return loadgen.Run(cfg) }
 // RunLoad and tests.
 func ServeLocal(svc *Service) (baseURL string, shutdown func(), err error) {
 	return loadgen.Serve(svc)
+}
+
+// Sharded serving tier (see internal/cluster): a consistent-hash router
+// over N in-process Service replicas sharing one store, with an
+// edge-cache tier absorbing Zipf-popular segments before any shard.
+type (
+	// Cluster is the routed serving tier. Its Handler exposes the same
+	// HTTP surface as a single Service; KillShard/RestartShard change the
+	// topology live.
+	Cluster = cluster.Cluster
+	// ClusterOptions configures shard count, ring virtual nodes, the edge
+	// cache budget, and the per-shard serving options.
+	ClusterOptions = cluster.Options
+	// ClusterStats is a full cluster snapshot: router, edge, per-shard.
+	ClusterStats = cluster.Stats
+	// EdgeStats is the edge cache's point-in-time view.
+	EdgeStats = cluster.EdgeStats
+)
+
+// NewCluster builds a routed serving tier over a fresh store (store nil)
+// or an existing one.
+func NewCluster(st *Store, opts ClusterOptions) (*Cluster, error) { return cluster.New(st, opts) }
+
+// DefaultClusterOptions returns a 2-shard cluster with a 32 MiB edge
+// cache and default per-shard serving options.
+func DefaultClusterOptions() ClusterOptions { return cluster.DefaultOptions() }
+
+// ServeHandler is ServeLocal for any handler — pass a Cluster's Handler
+// to load-test the routed tier in-process.
+func ServeHandler(h http.Handler) (baseURL string, shutdown func(), err error) {
+	return loadgen.ServeHandler(h)
 }
 
 // Telemetry: the shared observability core (see internal/telemetry).

@@ -192,3 +192,79 @@ func TestPublicAPIConformance(t *testing.T) {
 		t.Error("empty conformance table rendering")
 	}
 }
+
+// TestPublicAPICluster exercises the sharded serving tier through the
+// facade: build, ingest, route a load run, kill a shard mid-run, and read
+// the cluster snapshot.
+func TestPublicAPICluster(t *testing.T) {
+	video, _ := evr.VideoByName("RS")
+	cfg := evr.DefaultIngestConfig()
+	cfg.FullW, cfg.FullH = 96, 48
+	cfg.FOVW, cfg.FOVH = 32, 32
+	cfg.MaxSegments = 2
+	cfg.Codec.SearchRange = 1
+
+	copts := evr.DefaultClusterOptions()
+	copts.Shards = 2
+	clu, err := evr.NewCluster(nil, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clu.Ingest(video, cfg); err != nil {
+		t.Fatal(err)
+	}
+	baseURL, shutdown, err := evr.ServeHandler(clu.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	rep, err := evr.RunLoad(evr.LoadConfig{
+		BaseURL:       baseURL,
+		Video:         "RS",
+		Users:         3,
+		Passes:        2,
+		Segments:      2,
+		ViewportScale: 32,
+		Cluster:       clu,
+		OnPassStart: func(pass int) {
+			if pass == 2 {
+				if err := clu.KillShard(0); err != nil {
+					t.Errorf("kill shard: %v", err)
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures()) != 0 {
+		t.Fatalf("routed load failures: %v", rep.Failures())
+	}
+	// Checksums survive the kill: pass 2 (one shard down) must render the
+	// same pixels as pass 1.
+	sums := map[int]map[int]uint64{}
+	for _, r := range rep.Results {
+		if sums[r.User] == nil {
+			sums[r.User] = map[int]uint64{}
+		}
+		sums[r.User][r.Pass] = r.Checksum
+	}
+	for u, byPass := range sums {
+		if byPass[1] != byPass[2] || byPass[1] == 0 {
+			t.Errorf("user %d: checksums differ across the shard kill: %#x vs %#x", u, byPass[1], byPass[2])
+		}
+	}
+	for _, ps := range rep.PerPass {
+		if ps.Cluster == nil {
+			t.Fatalf("pass %d: no cluster delta for in-process cluster target", ps.Pass)
+		}
+	}
+	st := clu.Stats()
+	if st.Router.Requests == 0 || st.Router.LiveShards != 1 {
+		t.Errorf("cluster stats: %d requests, %d live shards", st.Router.Requests, st.Router.LiveShards)
+	}
+	if st.Edge == nil || st.Edge.Hits == 0 {
+		t.Error("edge cache absorbed nothing across 3 users × 2 passes")
+	}
+}

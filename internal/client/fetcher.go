@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +83,10 @@ type FetchCounters struct {
 	PrefetchIssued int64
 	// Retries counts retried HTTP attempts (after transient failures).
 	Retries int64
+	// RetryAfterWaits is the subset of Retries whose delay came from a
+	// server Retry-After hint (clamped to BackoffMax) instead of the
+	// client's own exponential backoff.
+	RetryAfterWaits int64
 	// TimedOut counts attempts cut off by the per-request timeout.
 	TimedOut int64
 	// BytesFetched is the total response bytes received over the wire.
@@ -115,12 +120,13 @@ type Fetcher struct {
 	flights map[segmentKey]*flightCall
 	wg      sync.WaitGroup // outstanding prefetch goroutines
 
-	cacheHits      atomic.Int64
-	prefetchHits   atomic.Int64
-	prefetchIssued atomic.Int64
-	retries        atomic.Int64
-	timedOut       atomic.Int64
-	bytesFetched   atomic.Int64
+	cacheHits       atomic.Int64
+	prefetchHits    atomic.Int64
+	prefetchIssued  atomic.Int64
+	retries         atomic.Int64
+	retryAfterWaits atomic.Int64
+	timedOut        atomic.Int64
+	bytesFetched    atomic.Int64
 }
 
 // flightCall is one in-flight segment download+decode that concurrent
@@ -163,13 +169,14 @@ func (f *Fetcher) Close() {
 // Counters snapshots the fetch layer's activity counters.
 func (f *Fetcher) Counters() FetchCounters {
 	return FetchCounters{
-		CacheHits:      f.cacheHits.Load(),
-		PrefetchHits:   f.prefetchHits.Load(),
-		PrefetchIssued: f.prefetchIssued.Load(),
-		Retries:        f.retries.Load(),
-		TimedOut:       f.timedOut.Load(),
-		BytesFetched:   f.bytesFetched.Load(),
-		Evictions:      f.cache.evicted(),
+		CacheHits:       f.cacheHits.Load(),
+		PrefetchHits:    f.prefetchHits.Load(),
+		PrefetchIssued:  f.prefetchIssued.Load(),
+		Retries:         f.retries.Load(),
+		RetryAfterWaits: f.retryAfterWaits.Load(),
+		TimedOut:        f.timedOut.Load(),
+		BytesFetched:    f.bytesFetched.Load(),
+		Evictions:       f.cache.evicted(),
 	}
 }
 
@@ -347,7 +354,7 @@ func (f *Fetcher) get(url string) ([]byte, error) {
 	defer tm.Stop()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		body, err, transient := f.attempt(url)
+		body, err, transient, retryAfter := f.attempt(url)
 		if err == nil {
 			return body, nil
 		}
@@ -356,7 +363,7 @@ func (f *Fetcher) get(url string) ([]byte, error) {
 			return nil, lastErr
 		}
 		f.retries.Add(1)
-		if err := f.backoff(attempt); err != nil {
+		if err := f.backoff(attempt, retryAfter); err != nil {
 			// Shut down mid-backoff: report the failure we were about to
 			// retry, annotated with why the retry never ran.
 			return nil, fmt.Errorf("%w (retry aborted: %v)", lastErr, err)
@@ -365,8 +372,9 @@ func (f *Fetcher) get(url string) ([]byte, error) {
 }
 
 // attempt is one HTTP round trip. transient reports whether the failure is
-// worth retrying.
-func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool) {
+// worth retrying; retryAfter carries the server's Retry-After hint on a
+// shed (503/429) response, 0 when absent.
+func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool, retryAfter time.Duration) {
 	ctx := f.ctx
 	if f.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -375,27 +383,31 @@ func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool) {
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, fmt.Errorf("client: GET %s: %w", url, err), false
+		return nil, fmt.Errorf("client: GET %s: %w", url, err), false, 0
 	}
 	resp, err := f.http.Do(req)
 	if err != nil {
 		if isTimeout(err) {
 			f.timedOut.Add(1)
 		}
-		return nil, fmt.Errorf("client: GET %s: %w", url, err), true
+		return nil, fmt.Errorf("client: GET %s: %w", url, err), true, 0
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		// Drain a little so the connection can be reused, then classify:
 		// 5xx and 429 are origin trouble worth retrying, other statuses
-		// (404, 400, ...) are permanent.
+		// (404, 400, ...) are permanent. A shedding origin's Retry-After
+		// hint rides along so the backoff can honor it.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
 		transient = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
-		return nil, fmt.Errorf("client: GET %s: %s", url, resp.Status), transient
+		if transient {
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		}
+		return nil, fmt.Errorf("client: GET %s: %s", url, resp.Status), transient, retryAfter
 	}
 	limit := f.cfg.MaxResponseBytes
 	if limit > 0 && resp.ContentLength > limit {
-		return nil, fmt.Errorf("client: GET %s: advertised %d bytes exceeds %d-byte cap", url, resp.ContentLength, limit), false
+		return nil, fmt.Errorf("client: GET %s: advertised %d bytes exceeds %d-byte cap", url, resp.ContentLength, limit), false, 0
 	}
 	var r io.Reader = resp.Body
 	if limit > 0 {
@@ -406,37 +418,72 @@ func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool) {
 		if isTimeout(err) {
 			f.timedOut.Add(1)
 		}
-		return nil, fmt.Errorf("client: GET %s: reading body: %w", url, err), true
+		return nil, fmt.Errorf("client: GET %s: reading body: %w", url, err), true, 0
 	}
 	if limit > 0 && int64(len(body)) > limit {
-		return nil, fmt.Errorf("client: GET %s: response exceeds %d-byte cap", url, limit), false
+		return nil, fmt.Errorf("client: GET %s: response exceeds %d-byte cap", url, limit), false, 0
 	}
 	f.bytesFetched.Add(int64(len(body)))
-	return body, nil, false
+	return body, nil, false, 0
 }
 
-// backoff waits out the exponential-backoff delay for a retry attempt, with
-// up to 50% additive jitter so synchronized clients don't stampede a
-// recovering origin. The wait is interruptible: closing the fetcher aborts
-// it immediately and backoff returns the cancellation cause. (It used to
-// time.Sleep — a Close during a 2 s backoff left the caller blocked for the
-// full delay, and the jitter draw raced every other user of the global
-// math/rand source.)
-func (f *Fetcher) backoff(attempt int) error {
-	d := f.cfg.BackoffBase
-	if d <= 0 {
-		return f.ctx.Err()
+// parseRetryAfter interprets a Retry-After header value: delay-seconds or
+// an HTTP-date (RFC 9110 §10.2.3). Absent, malformed, or past values give
+// 0 — the exponential backoff takes over.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
 	}
-	for i := 0; i < attempt && d < f.cfg.BackoffMax; i++ {
-		d *= 2
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs <= 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	if f.cfg.BackoffMax > 0 && d > f.cfg.BackoffMax {
-		d = f.cfg.BackoffMax
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
 	}
-	f.rngMu.Lock()
-	jitter := time.Duration(f.rng.Int63n(int64(d)/2 + 1))
-	f.rngMu.Unlock()
-	t := time.NewTimer(d + jitter)
+	return 0
+}
+
+// backoff waits out the delay before a retry attempt. When the failed
+// response carried a Retry-After hint, that hint is honored — clamped to
+// BackoffMax, because a hostile or misconfigured origin must not park the
+// client for minutes — and taken verbatim (no jitter: the server is already
+// spreading its own load). Otherwise the client falls back to exponential
+// backoff with up to 50% additive jitter so synchronized clients don't
+// stampede a recovering origin. (The fetcher used to ignore Retry-After
+// entirely, retrying an admission-controlled 503 on its own much shorter
+// schedule and re-hitting the shedding server while it was still over
+// capacity.) The wait is interruptible: closing the fetcher aborts it
+// immediately and backoff returns the cancellation cause.
+func (f *Fetcher) backoff(attempt int, retryAfter time.Duration) error {
+	var d time.Duration
+	if retryAfter > 0 {
+		d = retryAfter
+		if f.cfg.BackoffMax > 0 && d > f.cfg.BackoffMax {
+			d = f.cfg.BackoffMax
+		}
+		f.retryAfterWaits.Add(1)
+	} else {
+		d = f.cfg.BackoffBase
+		if d <= 0 {
+			return f.ctx.Err()
+		}
+		for i := 0; i < attempt && d < f.cfg.BackoffMax; i++ {
+			d *= 2
+		}
+		if f.cfg.BackoffMax > 0 && d > f.cfg.BackoffMax {
+			d = f.cfg.BackoffMax
+		}
+		f.rngMu.Lock()
+		jitter := time.Duration(f.rng.Int63n(int64(d)/2 + 1))
+		f.rngMu.Unlock()
+		d += jitter
+	}
+	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:

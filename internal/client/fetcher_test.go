@@ -282,3 +282,109 @@ func TestFetcherSingleflight(t *testing.T) {
 		t.Errorf("CacheHits = %d, want %d (joiners + cache)", c.CacheHits, n-1)
 	}
 }
+
+// TestFetcherHonorsRetryAfter pins the shed-signal bugfix: a 503 carrying
+// Retry-After must delay the retry by the server's hint (clamped to
+// BackoffMax) instead of the client's own much shorter exponential
+// backoff, and the honored waits must be counted. Before the fix the
+// header was ignored and a shedding origin was re-hit almost immediately.
+func TestFetcherHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1") // 1 s — far above the backoff schedule
+			http.Error(w, "shedding", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "recovered")
+	}))
+	defer ts.Close()
+
+	cfg := fastFetchConfig() // BackoffBase 1 ms — ignored hint would retry in ~1-2 ms
+	cfg.BackoffMax = 60 * time.Millisecond
+	f := NewFetcher(cfg, nil)
+	defer f.Close()
+	start := time.Now()
+	body, err := f.get(ts.URL)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("get after shed responses: %v", err)
+	}
+	if string(body) != "recovered" {
+		t.Fatalf("body = %q", body)
+	}
+	c := f.Counters()
+	if c.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", c.Retries)
+	}
+	if c.RetryAfterWaits != 2 {
+		t.Errorf("RetryAfterWaits = %d, want 2 (both shed responses carried the header)", c.RetryAfterWaits)
+	}
+	// Two honored waits, each clamped from 1 s down to BackoffMax = 60 ms:
+	// well above what the ignored-header schedule (≤ ~6 ms total) could
+	// produce, and well below the unclamped 2 s a hostile origin could ask
+	// for.
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("elapsed %v: Retry-After hint not honored", elapsed)
+	}
+	if elapsed > time.Second {
+		t.Errorf("elapsed %v: Retry-After hint not clamped to BackoffMax", elapsed)
+	}
+}
+
+// TestFetcherRetryAfterAbsentUsesBackoff pins that 503s without the header
+// keep the pre-fix behavior: exponential backoff, no honored-wait counts.
+func TestFetcherRetryAfterAbsentUsesBackoff(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 1 {
+			http.Error(w, "hiccup", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+
+	f := NewFetcher(fastFetchConfig(), nil)
+	defer f.Close()
+	if _, err := f.get(ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	c := f.Counters()
+	if c.Retries != 1 || c.RetryAfterWaits != 0 {
+		t.Errorf("Retries = %d, RetryAfterWaits = %d, want 1 and 0", c.Retries, c.RetryAfterWaits)
+	}
+}
+
+// TestParseRetryAfter tables the header forms: delay-seconds, HTTP-date,
+// and the garbage/past/empty values that must fall back to 0.
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		// loose lets HTTP-date cases tolerate the clock read between
+		// formatting and parsing.
+		loose bool
+	}{
+		{in: "", want: 0},
+		{in: "3", want: 3 * time.Second},
+		{in: "0", want: 0},
+		{in: "-5", want: 0},
+		{in: "soon", want: 0},
+		{in: "1.5", want: 0}, // delay-seconds is integral per RFC 9110
+		{in: time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat), want: 2 * time.Second, loose: true},
+		{in: time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), want: 0},
+	}
+	for _, c := range cases {
+		got := parseRetryAfter(c.in)
+		if c.loose {
+			if got <= 0 || got > c.want {
+				t.Errorf("parseRetryAfter(%q) = %v, want in (0, %v]", c.in, got, c.want)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

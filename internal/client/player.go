@@ -86,10 +86,11 @@ type PlaybackStats struct {
 	FrozenFrames  int // frames repeated because no content was decodable
 
 	// Fetch-layer counters for this run.
-	CacheHits    int // demand fetches served from cache or in-flight dedup
-	PrefetchHits int // subset of CacheHits filled by the prefetcher
-	Retries      int // retried HTTP attempts
-	TimedOut     int // HTTP attempts cut off by the per-request timeout
+	CacheHits       int // demand fetches served from cache or in-flight dedup
+	PrefetchHits    int // subset of CacheHits filled by the prefetcher
+	Retries         int // retried HTTP attempts
+	RetryAfterWaits int // retries whose delay honored a server Retry-After hint
+	TimedOut        int // HTTP attempts cut off by the per-request timeout
 }
 
 // NewPlayer returns a player against an EVR server base URL, with the
@@ -133,6 +134,7 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 		stats.CacheHits = int(after.CacheHits - before.CacheHits)
 		stats.PrefetchHits = int(after.PrefetchHits - before.PrefetchHits)
 		stats.Retries = int(after.Retries - before.Retries)
+		stats.RetryAfterWaits = int(after.RetryAfterWaits - before.RetryAfterWaits)
 		stats.TimedOut = int(after.TimedOut - before.TimedOut)
 	}()
 

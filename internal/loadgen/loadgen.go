@@ -12,6 +12,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"net"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"evr/internal/client"
+	"evr/internal/cluster"
 	"evr/internal/frame"
 	"evr/internal/headtrace"
 	"evr/internal/hmd"
@@ -66,12 +68,29 @@ type Config struct {
 	// Service, when the target is in-process, lets the report include
 	// server-side response-cache and admission deltas per pass.
 	Service *server.Service
+	// Cluster, when the target is an in-process routed cluster, lets the
+	// report include per-shard load skew, reroute counts, and edge-cache
+	// deltas per pass. Mutually composable with Service (leave Service nil
+	// for cluster targets; shards carry their own response caches).
+	Cluster *cluster.Cluster
+	// Specs is the multi-video catalog Zipf mode draws from (rank = index:
+	// Specs[0] is the most popular). Empty falls back to Spec/Video. Every
+	// spec must match what the target ingested.
+	Specs []scene.VideoSpec
+	// ZipfExponent, when > 0, assigns each user a video from Specs under a
+	// Zipf popularity law with this exponent — the skewed request mix the
+	// edge cache exists to absorb. 0 round-robins users across Specs.
+	ZipfExponent float64
+	// OnPassStart, when set, runs before each pass's sessions launch —
+	// the hook evrload's mid-run shard kill uses.
+	OnPassStart func(pass int)
 }
 
 // UserResult is one session's outcome.
 type UserResult struct {
 	User    int
 	Pass    int
+	Video   string // the video this user plays (varies in Zipf mode)
 	Err     error
 	Elapsed time.Duration
 	Stats   client.PlaybackStats
@@ -112,7 +131,13 @@ type PassStats struct {
 	ClientHits   int // client-side cache hits (incl. singleflight joins)
 	Retries      int
 	FramesPerSec float64
-	Server       *ServerDelta // nil for remote targets
+	Server       *ServerDelta  // nil for remote targets
+	Cluster      *ClusterDelta // nil for non-cluster targets
+	// P50/P99 are this pass's request-latency quantiles (histogram-delta
+	// estimates) — how a mid-run shard kill shows up as a tail-latency
+	// bump without corrupting frames.
+	P50 time.Duration
+	P99 time.Duration
 }
 
 // LatencySummary is the aggregate HTTP request-latency view, measured at
@@ -129,6 +154,8 @@ type LatencySummary struct {
 // Report is the full outcome of a load run.
 type Report struct {
 	Video    string
+	Videos   []string // full catalog when Zipf/multi-video mode is on
+	Zipf     float64  // popularity exponent, 0 when uniform
 	Users    int
 	Passes   int
 	Segments int
@@ -173,35 +200,65 @@ func (t *timingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 // base URL and a shutdown func. It is how evrload and the soak test run
 // "against an in-process server" without leaving the process.
 func Serve(svc *server.Service) (baseURL string, shutdown func(), err error) {
+	return ServeHandler(svc.Handler())
+}
+
+// ServeHandler is Serve for any handler — the routed-cluster target
+// (internal/cluster's router) uses it. The shutdown func drains
+// gracefully: in-flight requests get up to 5 s to complete before the
+// server is torn down hard. (It used to call http.Server.Close, which
+// dropped in-flight requests on the floor and salted multi-pass runs with
+// spurious transport errors when a pass's tail requests overlapped the
+// teardown.)
+func ServeHandler(h http.Handler) (baseURL string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, fmt.Errorf("loadgen: listen: %w", err)
 	}
-	srv := &http.Server{Handler: svc.Handler()}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln) //nolint:errcheck // closed via shutdown
-	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close() // drain deadline blown: drop what's left
+		}
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
 }
 
-// validate fills defaults and rejects unusable configs.
-func (c *Config) validate() (scene.VideoSpec, error) {
+// validate fills defaults and rejects unusable configs, returning the
+// video catalog users draw from (one entry outside multi-video mode).
+func (c *Config) validate() ([]scene.VideoSpec, error) {
 	if c.Users < 1 {
-		return scene.VideoSpec{}, fmt.Errorf("loadgen: Users %d must be ≥ 1", c.Users)
+		return nil, fmt.Errorf("loadgen: Users %d must be ≥ 1", c.Users)
 	}
 	if c.Passes < 1 {
 		c.Passes = 1
 	}
 	if c.BaseURL == "" {
-		return scene.VideoSpec{}, fmt.Errorf("loadgen: BaseURL required (use Serve for an in-process server)")
+		return nil, fmt.Errorf("loadgen: BaseURL required (use Serve for an in-process server)")
+	}
+	if c.ZipfExponent < 0 {
+		return nil, fmt.Errorf("loadgen: ZipfExponent %v must be ≥ 0", c.ZipfExponent)
+	}
+	if len(c.Specs) > 0 {
+		for _, s := range c.Specs {
+			if s.Name == "" {
+				return nil, fmt.Errorf("loadgen: Specs entries must be named")
+			}
+		}
+		return c.Specs, nil
 	}
 	spec := c.Spec
 	if spec.Name == "" {
 		v, ok := scene.ByName(c.Video)
 		if !ok {
-			return scene.VideoSpec{}, fmt.Errorf("loadgen: unknown video %q", c.Video)
+			return nil, fmt.Errorf("loadgen: unknown video %q", c.Video)
 		}
 		spec = v
 	}
-	return spec, nil
+	return []scene.VideoSpec{spec}, nil
 }
 
 // Run executes the load: Passes waves of Users concurrent playback
@@ -209,7 +266,7 @@ func (c *Config) validate() (scene.VideoSpec, error) {
 // the report (and in Report.Failures) so one bad session doesn't mask the
 // other N-1 measurements.
 func Run(cfg Config) (*Report, error) {
-	spec, err := cfg.validate()
+	catalog, err := cfg.validate()
 	if err != nil {
 		return nil, err
 	}
@@ -240,16 +297,32 @@ func Run(cfg Config) (*Report, error) {
 		httpClient = &wrapped
 	}
 
-	// Traces are generated once and replayed every pass: determinism is
-	// the property the soak leans on.
+	// Each user is pinned to one video — Zipf-popular when an exponent is
+	// set, round-robin otherwise — and traces are generated once and
+	// replayed every pass: determinism is the property the soak leans on.
+	assigned := make([]scene.VideoSpec, cfg.Users)
 	traces := make([]headtrace.Trace, cfg.Users)
 	for u := 0; u < cfg.Users; u++ {
-		traces[u] = headtrace.Generate(spec, u)
+		if cfg.ZipfExponent > 0 {
+			assigned[u] = catalog[zipfAssign(u, len(catalog), cfg.ZipfExponent)]
+		} else {
+			assigned[u] = catalog[u%len(catalog)]
+		}
+		traces[u] = headtrace.Generate(assigned[u], u)
 	}
 
-	rep := &Report{Video: spec.Name, Users: cfg.Users, Passes: cfg.Passes, Segments: cfg.Segments}
+	rep := &Report{Video: catalog[0].Name, Zipf: cfg.ZipfExponent,
+		Users: cfg.Users, Passes: cfg.Passes, Segments: cfg.Segments}
+	if len(catalog) > 1 {
+		for _, s := range catalog {
+			rep.Videos = append(rep.Videos, s.Name)
+		}
+	}
 	start := time.Now()
 	for pass := 1; pass <= cfg.Passes; pass++ {
+		if cfg.OnPassStart != nil {
+			cfg.OnPassStart(pass)
+		}
 		var before server.RespCacheStats
 		var beforeThrottled int64
 		serverSide := false
@@ -257,6 +330,11 @@ func Run(cfg Config) (*Report, error) {
 			before, serverSide = cfg.Service.RespCacheStats()
 			beforeThrottled = cfg.Service.Throttled()
 		}
+		var beforeCluster cluster.Stats
+		if cfg.Cluster != nil {
+			beforeCluster = cfg.Cluster.Stats()
+		}
+		beforeLatency := tt.hist.Snapshot()
 
 		results := make([]UserResult, cfg.Users)
 		passStart := time.Now()
@@ -265,7 +343,7 @@ func Run(cfg Config) (*Report, error) {
 			wg.Add(1)
 			go func(u int) {
 				defer wg.Done()
-				results[u] = runSession(cfg, fetch, httpClient, spec.Name, traces[u], u, pass)
+				results[u] = runSession(cfg, fetch, httpClient, assigned[u].Name, traces[u], u, pass)
 			}(u)
 		}
 		wg.Wait()
@@ -298,6 +376,12 @@ func Run(cfg Config) (*Report, error) {
 			}
 			ps.Server = delta
 		}
+		if cfg.Cluster != nil {
+			ps.Cluster = clusterDelta(beforeCluster, cfg.Cluster.Stats())
+		}
+		passLatency := deltaSnapshot(beforeLatency, tt.hist.Snapshot())
+		ps.P50 = time.Duration(passLatency.Quantile(0.50) * float64(time.Second))
+		ps.P99 = time.Duration(passLatency.Quantile(0.99) * float64(time.Second))
 		rep.PerPass = append(rep.PerPass, ps)
 		rep.Results = append(rep.Results, results...)
 	}
@@ -335,6 +419,7 @@ func runSession(cfg Config, fetch client.FetchConfig, httpClient *http.Client, v
 	return UserResult{
 		User:     user,
 		Pass:     pass,
+		Video:    video,
 		Err:      err,
 		Elapsed:  time.Since(start),
 		Stats:    stats,

@@ -1,10 +1,15 @@
 package loadgen
 
 import (
+	"fmt"
+	"io"
+	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"evr/internal/cluster"
 	"evr/internal/scene"
 	"evr/internal/server"
 	"evr/internal/store"
@@ -196,5 +201,162 @@ func TestServeRoundTrip(t *testing.T) {
 	}
 	if rep.PerPass[0].Frames != 2*30 {
 		t.Errorf("2 users × 1 segment = %d frames, want 60", rep.PerPass[0].Frames)
+	}
+}
+
+// TestShutdownDrainsInflightRequests pins the graceful-teardown bugfix:
+// shutting the in-process listener down while requests are mid-flight
+// must let them complete instead of resetting their connections. Before
+// the fix (http.Server.Close) the in-flight responses died with transport
+// errors — the "spurious error noise" multi-pass evrload runs saw when a
+// pass's tail overlapped the teardown.
+func TestShutdownDrainsInflightRequests(t *testing.T) {
+	opts := server.DefaultServiceOptions()
+	opts.StoreDelay = 150 * time.Millisecond // hold requests in flight
+	svc := soakService(t, opts)
+	baseURL, shutdown, err := Serve(svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	inflight := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inflight <- struct{}{}
+			// Distinct segments so every request pays the slow store load
+			// rather than coalescing onto one flight.
+			resp, err := http.Get(fmt.Sprintf("%s/v/SOAK/orig/%d", baseURL, i%2))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := io.ReadAll(resp.Body); err != nil {
+				errs[i] = fmt.Errorf("reading body: %w", err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-inflight
+	}
+	// All launched; give them a beat to be accepted by the server, then
+	// shut down while the store delay still holds them open.
+	time.Sleep(30 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { shutdown(); close(done) }()
+	wg.Wait()
+	<-done
+
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("in-flight request %d dropped by shutdown: %v", i, err)
+		}
+	}
+
+	// And the listener really is down afterward.
+	if _, err := http.Get(baseURL + "/healthz"); err == nil {
+		t.Error("server still serving after shutdown")
+	}
+}
+
+// TestZipfRoutedRunAcrossVideos drives the routed cluster tier in Zipf
+// popularity mode: users draw videos under a skewed law, the router
+// partitions segments across shards, and the report carries per-shard
+// skew and edge-hit-rate deltas.
+func TestZipfRoutedRunAcrossVideos(t *testing.T) {
+	specs := make([]scene.VideoSpec, 3)
+	for i := range specs {
+		s := soakSpec()
+		s.Name = fmt.Sprintf("ZIPF%d", i)
+		s.Objects[0].BaseYaw += 0.1 * float64(i)
+		specs[i] = s
+	}
+	copts := cluster.DefaultOptions()
+	copts.Shards = 3
+	clu, err := cluster.New(nil, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range specs {
+		if _, err := clu.Ingest(s, soakIngest()); err != nil {
+			t.Fatalf("ingest %s: %v", s.Name, err)
+		}
+	}
+	baseURL, shutdown, err := ServeHandler(clu.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	rep, err := Run(Config{
+		BaseURL:       baseURL,
+		Specs:         specs,
+		ZipfExponent:  1.2,
+		Users:         12,
+		Passes:        2,
+		ViewportScale: 32,
+		Cluster:       clu,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := rep.Failures(); len(fails) != 0 {
+		t.Fatalf("%d sessions failed, first: %v", len(fails), fails[0].Err)
+	}
+	if len(rep.Videos) != 3 || rep.Zipf != 1.2 {
+		t.Errorf("report catalog = %v zipf %v", rep.Videos, rep.Zipf)
+	}
+
+	// The Zipf draw is deterministic and skewed: the head video gets the
+	// plurality of users, and assignments repeat across passes.
+	byVideo := map[string]int{}
+	for _, r := range rep.Results {
+		if r.Pass == 1 {
+			byVideo[r.Video]++
+		}
+	}
+	if byVideo["ZIPF0"] <= byVideo["ZIPF2"] {
+		t.Errorf("popularity not skewed: %v", byVideo)
+	}
+
+	// Per-pass cluster deltas: skew bounded, edge absorbing repeats by
+	// pass 2 (fresh players, same segments).
+	for _, ps := range rep.PerPass {
+		cd := ps.Cluster
+		if cd == nil {
+			t.Fatalf("pass %d missing cluster delta", ps.Pass)
+		}
+		if len(cd.Shards) != 3 {
+			t.Fatalf("pass %d: %d shard deltas", ps.Pass, len(cd.Shards))
+		}
+		if ps.P99 < ps.P50 {
+			t.Errorf("pass %d: p99 %v < p50 %v", ps.Pass, ps.P99, ps.P50)
+		}
+	}
+	p2 := rep.PerPass[1].Cluster
+	if p2.EdgeHits == 0 {
+		t.Error("pass 2 hit the edge cache zero times")
+	}
+	if skew := p2.Skew(); skew < 1 {
+		t.Errorf("pass 2 skew %.2f < 1", skew)
+	}
+
+	// The text report renders the cluster section.
+	var sb strings.Builder
+	rep.WriteText(&sb, false)
+	out := sb.String()
+	for _, want := range []string{"zipf", "edge hit rate", "skew", "shard-0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -11,7 +11,14 @@ import (
 // summary, the request-latency distribution, and (with perUser) one row
 // per session.
 func (r *Report) WriteText(w io.Writer, perUser bool) {
-	fmt.Fprintf(w, "loadgen: %d users × %d pass(es) over %s", r.Users, r.Passes, r.Video)
+	if len(r.Videos) > 1 {
+		fmt.Fprintf(w, "loadgen: %d users × %d pass(es) over %d videos", r.Users, r.Passes, len(r.Videos))
+		if r.Zipf > 0 {
+			fmt.Fprintf(w, " (zipf s=%.2f)", r.Zipf)
+		}
+	} else {
+		fmt.Fprintf(w, "loadgen: %d users × %d pass(es) over %s", r.Users, r.Passes, r.Video)
+	}
 	if r.Segments > 0 {
 		fmt.Fprintf(w, " (%d segments)", r.Segments)
 	}
@@ -30,6 +37,20 @@ func (r *Report) WriteText(w io.Writer, perUser bool) {
 				ps.Server.CacheHits, ps.Server.CacheMisses, ps.Server.CacheCoalesced, ps.Server.Throttled)
 		}
 		fmt.Fprintln(w)
+		fmt.Fprintf(w, "        latency p50 %v  p99 %v\n",
+			ps.P50.Round(time.Microsecond), ps.P99.Round(time.Microsecond))
+		if cd := ps.Cluster; cd != nil {
+			fmt.Fprintf(w, "        cluster: edge hit rate %.1f%% (%d hits / %d misses / %d coalesced), %d rerouted, %d no-shard, skew %.2f×\n",
+				100*cd.EdgeHitRate(), cd.EdgeHits, cd.EdgeMisses, cd.EdgeCoalesced,
+				cd.Rerouted, cd.NoShard, cd.Skew())
+			for _, sh := range cd.Shards {
+				state := "up"
+				if !sh.Alive {
+					state = "DOWN"
+				}
+				fmt.Fprintf(w, "          %-9s %4s  %6d reqs  %4d shed\n", sh.Name, state, sh.Requests, sh.Shed)
+			}
+		}
 	}
 
 	l := r.Latency

@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"math"
+
+	"evr/internal/cluster"
+	"evr/internal/telemetry"
+)
+
+// zipfAssign returns the catalog index user u plays under a Zipf(s)
+// popularity law over n videos, rank = index (catalog[0] is the most
+// popular). The draw is a hash of the user index mapped through the Zipf
+// CDF — fully deterministic, so every pass (and every re-run) assigns the
+// same user the same video, which keeps the soak's pass-to-pass checksum
+// assertion meaningful in Zipf mode.
+func zipfAssign(user, n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// splitmix64 of the user index → uniform in [0, 1).
+	x := uint64(user) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u01 := float64(x>>11) / float64(1<<53)
+
+	var total float64
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	var cum float64
+	for i, w := range weights {
+		cum += w / total
+		if u01 < cum {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// ShardDelta is one shard's routed-request change over one pass.
+type ShardDelta struct {
+	Name     string
+	Alive    bool // at pass end
+	Requests int64
+	Shed     int64
+}
+
+// ClusterDelta is the change in routed-tier counters over one pass
+// (in-process cluster targets only).
+type ClusterDelta struct {
+	Rerouted      int64
+	NoShard       int64
+	EdgeHits      int64
+	EdgeMisses    int64
+	EdgeCoalesced int64
+	Shards        []ShardDelta
+}
+
+// EdgeHitRate returns the pass's edge hit fraction over all edge lookups.
+func (d *ClusterDelta) EdgeHitRate() float64 {
+	total := d.EdgeHits + d.EdgeMisses + d.EdgeCoalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(d.EdgeHits) / float64(total)
+}
+
+// Skew returns the pass's per-shard load skew: the max routed-request
+// share over the mean across shards that served anything or are alive.
+// 1.0 is a perfect split; the consistent-hash ring should keep this near
+// the vnode balance bound.
+func (d *ClusterDelta) Skew() float64 {
+	var total, max int64
+	n := 0
+	for _, sh := range d.Shards {
+		if !sh.Alive && sh.Requests == 0 {
+			continue // dead the whole pass: not part of the split
+		}
+		n++
+		total += sh.Requests
+		if sh.Requests > max {
+			max = sh.Requests
+		}
+	}
+	if n == 0 || total == 0 {
+		return 0
+	}
+	return float64(max) / (float64(total) / float64(n))
+}
+
+// clusterDelta diffs two cluster snapshots into a pass delta.
+func clusterDelta(before, after cluster.Stats) *ClusterDelta {
+	d := &ClusterDelta{
+		Rerouted: after.Router.Rerouted - before.Router.Rerouted,
+		NoShard:  after.Router.NoShard - before.Router.NoShard,
+	}
+	if before.Edge != nil && after.Edge != nil {
+		d.EdgeHits = after.Edge.Hits - before.Edge.Hits
+		d.EdgeMisses = after.Edge.Misses - before.Edge.Misses
+		d.EdgeCoalesced = after.Edge.Coalesced - before.Edge.Coalesced
+	}
+	for i, sh := range after.Shards {
+		sd := ShardDelta{Name: sh.Name, Alive: sh.Alive, Requests: sh.Requests, Shed: sh.Shed}
+		if i < len(before.Shards) {
+			sd.Requests -= before.Shards[i].Requests
+			sd.Shed -= before.Shards[i].Shed
+		}
+		d.Shards = append(d.Shards, sd)
+	}
+	return d
+}
+
+// deltaSnapshot subtracts two cumulative histogram snapshots taken from
+// the same histogram, yielding the distribution of just the observations
+// between them — the per-pass latency view.
+func deltaSnapshot(before, after telemetry.HistogramSnapshot) telemetry.HistogramSnapshot {
+	if len(before.Counts) != len(after.Counts) {
+		return after
+	}
+	d := telemetry.HistogramSnapshot{
+		Bounds: after.Bounds,
+		Counts: make([]int64, len(after.Counts)),
+		Sum:    after.Sum - before.Sum,
+		// Quantile clamps to Max; the run-wide max is the tightest bound a
+		// cumulative histogram can offer a slice of itself.
+		Max: after.Max,
+	}
+	for i := range d.Counts {
+		d.Counts[i] = after.Counts[i] - before.Counts[i]
+		d.Count += d.Counts[i]
+	}
+	return d
+}

@@ -1,0 +1,55 @@
+package loadgen
+
+import "testing"
+
+// TestZipfAssignDeterministicAndSkewed pins the popularity draw: stable
+// per user, in range, and monotonically favoring low ranks.
+func TestZipfAssignDeterministicAndSkewed(t *testing.T) {
+	const n, users = 5, 4000
+	counts := make([]int, n)
+	for u := 0; u < users; u++ {
+		i := zipfAssign(u, n, 1.1)
+		if i != zipfAssign(u, n, 1.1) {
+			t.Fatalf("user %d: draw not deterministic", u)
+		}
+		if i < 0 || i >= n {
+			t.Fatalf("user %d: index %d out of range", u, i)
+		}
+		counts[i]++
+	}
+	for i := 1; i < n; i++ {
+		if counts[i] > counts[i-1] {
+			t.Errorf("rank %d more popular than rank %d: %v", i, i-1, counts)
+		}
+	}
+	// Zipf(1.1) over 5 ranks gives the head ≈ 44% of the mass; a uniform
+	// draw gives 20%. Anything over 35% proves the law is applied.
+	if frac := float64(counts[0]) / users; frac < 0.35 {
+		t.Errorf("head video drew %.1f%% of users, want Zipf-skewed (> 35%%)", 100*frac)
+	}
+}
+
+// TestZipfAssignEdges pins the degenerate parameters.
+func TestZipfAssignEdges(t *testing.T) {
+	if got := zipfAssign(9, 1, 1.0); got != 0 {
+		t.Errorf("n=1 draw = %d", got)
+	}
+	if got := zipfAssign(3, 0, 1.0); got != 0 {
+		t.Errorf("n=0 draw = %d", got)
+	}
+}
+
+// TestClusterDeltaSkew pins the skew summary over shard deltas.
+func TestClusterDeltaSkew(t *testing.T) {
+	d := &ClusterDelta{Shards: []ShardDelta{
+		{Name: "shard-0", Alive: true, Requests: 300},
+		{Name: "shard-1", Alive: true, Requests: 100},
+		{Name: "shard-2", Alive: false, Requests: 0}, // dead all pass: excluded
+	}}
+	if got := d.Skew(); got != 1.5 {
+		t.Errorf("skew = %v, want 1.5 (300 over mean 200)", got)
+	}
+	if got := (&ClusterDelta{}).Skew(); got != 0 {
+		t.Errorf("empty skew = %v", got)
+	}
+}

@@ -99,6 +99,21 @@ func (s *Service) IngestVideo(v scene.VideoSpec, cfg IngestConfig) (*Manifest, e
 	return man, nil
 }
 
+// Publish registers an already-ingested manifest with this service — the
+// replica path of the cluster tier (internal/cluster): N services share
+// one SAS store, one of them runs the ingest pipeline, and the rest
+// publish the resulting manifest. Like IngestVideo, publishing purges
+// cached responses of the video (and dooms in-flight response-cache
+// loads) so a republish is immediately visible on every replica.
+func (s *Service) Publish(man *Manifest) {
+	s.mu.Lock()
+	s.manifests[man.Video] = man
+	s.mu.Unlock()
+	if s.cache != nil {
+		s.cache.purgeVideo(man.Video)
+	}
+}
+
 // Manifest returns the manifest of a published video.
 func (s *Service) Manifest(video string) (*Manifest, bool) {
 	s.mu.RLock()

@@ -46,6 +46,7 @@ type RespCacheStats struct {
 	Coalesced int64 `json:"coalesced"` // requests that joined an in-flight identical miss
 	Evictions int64 `json:"evictions"` // entries dropped to stay under the byte budget
 	Oversized int64 `json:"oversized"` // payloads larger than the whole budget (served, never cached)
+	Doomed    int64 `json:"doomed"`    // in-flight loads overtaken by a purge (served, never cached)
 	Entries   int64 `json:"entries"`   // live cached payloads
 	Bytes     int64 `json:"bytes"`     // live cached payload bytes
 	MaxBytes  int64 `json:"maxBytes"`  // configured budget
@@ -75,6 +76,11 @@ type respFlight struct {
 	done chan struct{}
 	data []byte
 	ok   bool
+	// doomed marks a flight overtaken by a purge of its video: the cache
+	// cannot prove the flight's store read happened after the republish, so
+	// the result is served to its waiters but never inserted. Guarded by
+	// respCache.mu.
+	doomed bool
 }
 
 // respCache is a bounded LRU of encoded response payloads with
@@ -88,6 +94,7 @@ type respCache struct {
 	coalesced *telemetry.Counter
 	evictions *telemetry.Counter
 	oversized *telemetry.Counter
+	doomed    *telemetry.Counter
 	entriesG  *telemetry.Gauge
 	bytesG    *telemetry.Gauge
 
@@ -111,6 +118,7 @@ const (
 	promRespCoalesced = "evr_respcache_coalesced_total"
 	promRespEvictions = "evr_respcache_evictions_total"
 	promRespOversized = "evr_respcache_oversized_total"
+	promRespDoomed    = "evr_respcache_doomed_total"
 	promRespEntries   = "evr_respcache_entries"
 	promRespBytes     = "evr_respcache_bytes"
 	promThrottled     = "evr_http_throttled_total"
@@ -128,6 +136,7 @@ func newRespCache(maxBytes int64, reg *telemetry.Registry) *respCache {
 	reg.SetHelp(promRespCoalesced, "segment requests that joined an in-flight identical load")
 	reg.SetHelp(promRespEvictions, "response-cache entries evicted under the byte budget")
 	reg.SetHelp(promRespOversized, "payloads larger than the whole cache budget (served, never cached)")
+	reg.SetHelp(promRespDoomed, "in-flight loads overtaken by a purge (served, never cached)")
 	reg.SetHelp(promRespEntries, "live response-cache entries")
 	reg.SetHelp(promRespBytes, "live response-cache payload bytes")
 	return &respCache{
@@ -136,6 +145,7 @@ func newRespCache(maxBytes int64, reg *telemetry.Registry) *respCache {
 		coalesced: reg.Counter(promRespCoalesced),
 		evictions: reg.Counter(promRespEvictions),
 		oversized: reg.Counter(promRespOversized),
+		doomed:    reg.Counter(promRespDoomed),
 		entriesG:  reg.Gauge(promRespEntries),
 		bytesG:    reg.Gauge(promRespBytes),
 		maxBytes:  maxBytes,
@@ -174,8 +184,11 @@ func (c *respCache) get(key respKey, load func() ([]byte, bool)) ([]byte, bool) 
 
 	c.mu.Lock()
 	delete(c.flights, key)
-	if fl.ok {
+	if fl.ok && !fl.doomed {
 		c.insertLocked(key, fl.data)
+	}
+	if fl.doomed {
+		c.doomed.Inc()
 	}
 	c.mu.Unlock()
 	close(fl.done)
@@ -216,7 +229,13 @@ func (c *respCache) insertLocked(key respKey, data []byte) {
 }
 
 // purgeVideo drops every cached payload of one video — called on
-// (re-)ingest so stale responses never outlive a republish.
+// (re-)ingest so stale responses never outlive a republish. In-flight
+// loads of that video are doomed rather than waited out: a flight that
+// started before the purge may have read the pre-republish store, so its
+// result is served to the waiters it already collected but never inserted.
+// (It used to purge residents only — a slow load interleaved with a
+// re-ingest would complete afterward and repopulate the cache with the
+// stale payload.)
 func (c *respCache) purgeVideo(video string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -228,6 +247,11 @@ func (c *respCache) purgeVideo(video string) {
 			c.bytes -= int64(len(node.data))
 		}
 		el = next
+	}
+	for key, fl := range c.flights {
+		if key.video == video {
+			fl.doomed = true
+		}
 	}
 	c.entriesG.Set(int64(c.order.Len()))
 	c.bytesG.Set(c.bytes)
@@ -246,6 +270,7 @@ func (c *respCache) stats() RespCacheStats {
 		Coalesced: c.coalesced.Value(),
 		Evictions: c.evictions.Value(),
 		Oversized: c.oversized.Value(),
+		Doomed:    c.doomed.Value(),
 		Entries:   entries,
 		Bytes:     bytes,
 		MaxBytes:  maxBytes,

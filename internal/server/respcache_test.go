@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"evr/internal/codec"
 	"evr/internal/telemetry"
 )
 
@@ -207,6 +208,130 @@ func TestRespCachePurgeVideo(t *testing.T) {
 	}
 	if reloads != 3 {
 		t.Errorf("purged video reloaded %d of 3 entries", reloads)
+	}
+}
+
+// TestRespCachePurgeDoomsInflightLoad pins the re-ingest staleness bug:
+// a flight that started before purgeVideo ran cannot prove its store read
+// happened after the republish, so its result must be served to the
+// waiters it already collected but never inserted into the cache. Before
+// the fix the flight completed after the purge and repopulated the cache
+// with the stale payload.
+func TestRespCachePurgeDoomsInflightLoad(t *testing.T) {
+	c := newTestRespCache(1 << 20)
+	key := rk("V", 0)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	type result struct {
+		data []byte
+		ok   bool
+	}
+	got := make(chan result, 1)
+	go func() {
+		data, ok := c.get(key, func() ([]byte, bool) {
+			close(started)
+			<-release // the load is mid-read while the purge lands
+			return []byte("stale"), true
+		})
+		got <- result{data, ok}
+	}()
+	<-started
+	c.purgeVideo("V") // re-ingest republishes while the load is in flight
+	close(release)
+
+	r := <-got
+	if !r.ok || string(r.data) != "stale" {
+		t.Fatalf("doomed flight not served to its waiters: %q, %v", r.data, r.ok)
+	}
+	// The stale result must not have been cached: the next request reloads
+	// and sees the post-republish payload.
+	reloaded := false
+	data, ok := c.get(key, func() ([]byte, bool) { reloaded = true; return []byte("fresh"), true })
+	if !reloaded {
+		t.Fatal("purged-mid-flight payload was re-inserted into the cache")
+	}
+	if !ok || string(data) != "fresh" {
+		t.Fatalf("post-purge get = %q, %v", data, ok)
+	}
+	st := c.stats()
+	if st.Doomed != 1 {
+		t.Errorf("Doomed = %d, want 1", st.Doomed)
+	}
+	if st.Entries != 1 || string(c.items[key].Value.(*respNode).data) != "fresh" {
+		t.Errorf("cache holds the wrong payload: %+v", st)
+	}
+}
+
+// TestRespCachePurgeDoomsOnlyThatVideo pins the targeting: a purge of one
+// video leaves another video's concurrent flight cacheable.
+func TestRespCachePurgeDoomsOnlyThatVideo(t *testing.T) {
+	c := newTestRespCache(1 << 20)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.get(rk("other", 0), func() ([]byte, bool) {
+			close(started)
+			<-release
+			return []byte("kept"), true
+		})
+	}()
+	<-started
+	c.purgeVideo("V")
+	close(release)
+	<-done
+	c.get(rk("other", 0), func() ([]byte, bool) {
+		t.Error("unrelated video's in-flight load was doomed by the purge")
+		return nil, false
+	})
+	if st := c.stats(); st.Doomed != 0 {
+		t.Errorf("Doomed = %d, want 0", st.Doomed)
+	}
+}
+
+// TestServiceReingestDuringSlowLoad is the service-level interleave the
+// issue pins: with StoreDelay widening the load window, a request that is
+// mid-load when a re-ingest purges the video must not repopulate the cache
+// afterward — the next request has to go back to the (fresh) store.
+func TestServiceReingestDuringSlowLoad(t *testing.T) {
+	opts := DefaultServiceOptions()
+	opts.StoreDelay = 150 * time.Millisecond
+	svc := fabricateService(t, opts)
+
+	done := make(chan error, 1)
+	go func() {
+		_, ok := svc.payload(respKey{video: "V", seg: 0, kind: respOrig})
+		if !ok {
+			done <- fmt.Errorf("in-flight request failed")
+			return
+		}
+		done <- nil
+	}()
+	// Let the request enter its slow load, then republish the video the way
+	// IngestVideo does: overwrite the store and purge the cache.
+	time.Sleep(30 * time.Millisecond)
+	fresh := marshalBitstream(&codec.Bitstream{W: 16, H: 8, Frames: [][]byte{{9, 9, 9, 9}}, Types: []codec.FrameType{codec.IFrame}})
+	if err := svc.store.Put(origKey("V", 0), fresh, nil); err != nil {
+		t.Fatal(err)
+	}
+	svc.cache.purgeVideo("V")
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed flight's payload must not be cached: this request has to
+	// miss and read the republished store.
+	missesBefore := svc.cache.stats().Misses
+	data, ok := svc.payload(respKey{video: "V", seg: 0, kind: respOrig})
+	if !ok {
+		t.Fatal("post-republish request failed")
+	}
+	if string(data) != string(fresh) {
+		t.Fatal("post-republish request served the pre-republish payload")
+	}
+	if got := svc.cache.stats().Misses - missesBefore; got != 1 {
+		t.Errorf("post-republish request hit the cache (misses delta %d, want 1): stale payload survived the purge", got)
 	}
 }
 
