@@ -31,6 +31,12 @@
 # Zipf video popularity, shard 0 killed at pass 2, and -verify-single as
 # the checksum gate — the run fails unless every user's displayed frames
 # through the router are byte-identical to a single-server replay.
+#
+# The tiled-delivery smoke (PR 8) adds the viewport-adaptive transport on
+# top of the same gate: a tiled ingest served through 2 shards, the mixed
+# per-segment policy picking FOV/tiled/orig, and -verify-single again
+# requiring routed playback byte-identical to a single server. The tile
+# wire format gets the same fuzz budget as the other decoders.
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -41,6 +47,7 @@ go test ./internal/telemetry -run=NONE -bench=TelemetryOverhead -benchtime=1x
 go test ./internal/server -run='^$' -fuzz=FuzzUnmarshalBitstream -fuzztime=5s
 go test ./internal/server -run='^$' -fuzz=FuzzManifestJSON -fuzztime=5s
 go test ./internal/headtrace -run='^$' -fuzz=FuzzHeadtraceCSV -fuzztime=5s
+go test ./internal/delivery -run='^$' -fuzz=FuzzUnmarshalTile -fuzztime=5s
 go run ./cmd/evrconform -fast
 go run ./cmd/evrconform
 go run ./cmd/evrbench -lut -lut-width 256 -lut-frames 2 -users 2 -bench-out "${TMPDIR:-/tmp}/bench_lut_smoke.json"
@@ -48,3 +55,5 @@ go run ./cmd/evrbench -bench-check "${TMPDIR:-/tmp}/bench_lut_smoke.json"
 go run ./cmd/evrbench -bench-check BENCH_evrbench.json
 go run ./cmd/evrload -shards 2 -zipf 1.1 -zipf-videos 2 -users 8 -passes 2 \
     -segments 1 -width 96 -viewport-scale 32 -kill-shard 0 -kill-pass 2 -verify-single
+go run ./cmd/evrload -shards 2 -users 6 -passes 1 -segments 2 -width 96 \
+    -viewport-scale 32 -mode mixed -verify-single

@@ -38,6 +38,10 @@ type lutBenchReport struct {
 	// TraceHitRates sweeps pose-grid steps over the head-trace corpus and
 	// reports how many renders would share a table (no rendering involved).
 	TraceHitRates []lutTraceHitRate `json:"trace_hit_rates"`
+	// TiledAssembly measures the tiled-delivery reconstruction hot path
+	// (delivery.Assemble). Absent in artifacts written before the tiled
+	// transport existed, so it stays optional.
+	TiledAssembly *tiledAssemblyBench `json:"tiled_assembly,omitempty"`
 }
 
 type lutBenchConfig struct {
@@ -169,6 +173,12 @@ func runLUTBench(outPath string, width, warmFrames, workers, users int, quantDeg
 		rep.TraceHitRates = append(rep.TraceHitRates, traceHitRate(v, users, cfg, full.W, full.H, stepDeg))
 	}
 
+	ta, err := runTiledAssemblyBench(width, warmFrames)
+	if err != nil {
+		return err
+	}
+	rep.TiledAssembly = ta
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -221,6 +231,11 @@ func printLUTBench(rep lutBenchReport, outPath string) {
 		fmt.Printf("    step %5.2f°: %6d poses → %6d tables, hit rate %5.1f%%\n",
 			hr.QuantStepDeg, hr.Poses, hr.Distinct, 100*hr.HitRate)
 	}
+	if ta := rep.TiledAssembly; ta != nil {
+		fmt.Printf("  tiled assembly (%dx%d, %dx%d grid, %d visible tiles, low 1/%d): %.2f ms/frame (%.1f Mpix/s)\n",
+			ta.FullW, ta.FullH, ta.GridCols, ta.GridRows, ta.VisibleTiles, ta.LowDiv,
+			ta.MsPerFrame, ta.MegapixPerSec)
+	}
 	fmt.Printf("wrote %s\n", outPath)
 }
 
@@ -270,6 +285,17 @@ func checkLUTBench(path string) error {
 		}
 		if hr.HitRate < 0 || hr.HitRate >= 1 {
 			fail("step %g: hit rate %g outside [0,1)", hr.QuantStepDeg, hr.HitRate)
+		}
+	}
+	if ta := rep.TiledAssembly; ta != nil {
+		if ta.FullW <= 0 || ta.FullH <= 0 || ta.GridCols <= 0 || ta.GridRows <= 0 || ta.LowDiv <= 0 || ta.FramesPerCall <= 0 {
+			fail("tiled_assembly has non-positive config: %+v", *ta)
+		}
+		if ta.MsPerFrame <= 0 || ta.MegapixPerSec <= 0 {
+			fail("tiled_assembly has non-positive measurements: %+v", *ta)
+		}
+		if ta.VisibleTiles < 1 || ta.VisibleTiles > ta.GridCols*ta.GridRows {
+			fail("tiled_assembly visible_tiles %d outside [1,%d]", ta.VisibleTiles, ta.GridCols*ta.GridRows)
 		}
 	}
 	if len(errs) > 0 {

@@ -1,0 +1,114 @@
+package main
+
+// The tiled-assembly arm of the -lut benchmark measures the client's
+// hot reconstruction path for viewport-adaptive tiled delivery
+// (delivery.Assemble): upscaling the low-res backfill stream to the full
+// panorama and blitting every fetched tile over it. This is the per-frame
+// cost a tiled session pays before the regular PT render, so it belongs in
+// the same artifact the LUT hot path is gated on.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"evr/internal/delivery"
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/tiling"
+)
+
+// tiledAssemblyBench is the optional tiled_assembly section of the -lut
+// report. Older artifacts predate it, so every consumer treats it as
+// optional; when present, -bench-check validates it.
+type tiledAssemblyBench struct {
+	FullW    int `json:"full_w"`
+	FullH    int `json:"full_h"`
+	GridCols int `json:"grid_cols"`
+	GridRows int `json:"grid_rows"`
+	// VisibleTiles is how many tiles the benchmark blits — the real
+	// visibility count for a 110°×110° viewport on this grid, not all of
+	// them, because a tiled session only fetches what the predictor marks.
+	VisibleTiles int `json:"visible_tiles"`
+	// LowDiv is the backfill downscale divisor (low stream is
+	// full/LowDiv per axis).
+	LowDiv int `json:"low_div"`
+	// FramesPerCall is the segment length each Assemble call rebuilds.
+	FramesPerCall int     `json:"frames_per_call"`
+	MsPerFrame    float64 `json:"ms_per_frame"`
+	// MegapixPerSec is assembled output throughput (FullW×FullH pixels per
+	// frame over MsPerFrame).
+	MegapixPerSec float64 `json:"megapix_per_sec"`
+}
+
+// runTiledAssemblyBench measures delivery.Assemble on a width×width/2
+// panorama with an 8×4 tile grid, a quarter-resolution backfill, and the
+// tiles actually visible to an HMD-sized viewport looking at the seam —
+// the worst case for visibility count. frames is the per-segment frame
+// count each call assembles.
+func runTiledAssemblyBench(width, frames int) (*tiledAssemblyBench, error) {
+	w := width - width%32 // 8 cols × tile width %8
+	h := w / 2
+	g := tiling.Grid{Cols: 8, Rows: 4}
+	if err := g.Validate(w, h); err != nil {
+		return nil, fmt.Errorf("tiled assembly grid: %w", err)
+	}
+	const lowDiv = 4
+	tw, th := w/g.Cols, h/g.Rows
+
+	vp := projection.Viewport{
+		Width: w / 2, Height: w / 2,
+		FOVX: math.Pi * 110 / 180, FOVY: math.Pi * 110 / 180,
+	}
+	gaze := geom.Orientation{Yaw: math.Pi} // across the ERP ±180° seam
+	visible := g.Visible(vp, gaze, projection.ERP)
+
+	low := make([]*frame.Frame, frames)
+	for i := range low {
+		lf := frame.New(w/lowDiv, h/lowDiv)
+		fillBenchFrame(lf)
+		low[i] = lf
+	}
+	tiles := make(map[int][]*frame.Frame)
+	nVisible := 0
+	for t, vis := range visible {
+		if !vis {
+			continue
+		}
+		nVisible++
+		tf := make([]*frame.Frame, frames)
+		for i := range tf {
+			f := frame.New(tw, th)
+			fillBenchFrame(f)
+			tf[i] = f
+		}
+		tiles[t] = tf
+	}
+
+	// Warm once (validates inputs), then measure.
+	if _, err := delivery.Assemble(g, w, h, low, tiles); err != nil {
+		return nil, fmt.Errorf("tiled assembly: %w", err)
+	}
+	const iters = 8
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := delivery.Assemble(g, w, h, low, tiles); err != nil {
+			return nil, fmt.Errorf("tiled assembly: %w", err)
+		}
+	}
+	msFrame := msPer(time.Since(start), iters*frames)
+
+	b := &tiledAssemblyBench{
+		FullW: w, FullH: h,
+		GridCols: g.Cols, GridRows: g.Rows,
+		VisibleTiles:  nVisible,
+		LowDiv:        lowDiv,
+		FramesPerCall: frames,
+		MsPerFrame:    msFrame,
+	}
+	if msFrame > 0 {
+		b.MegapixPerSec = float64(w*h) / 1e6 / (msFrame / 1e3)
+	}
+	return b, nil
+}

@@ -36,6 +36,7 @@ import (
 
 	"evr/internal/client"
 	"evr/internal/cluster"
+	"evr/internal/delivery"
 	"evr/internal/loadgen"
 	"evr/internal/scene"
 	"evr/internal/server"
@@ -60,6 +61,7 @@ func main() {
 	cache := flag.Int("cache", client.DefaultFetchConfig().CacheSegments, "per-session decoded-segment LRU capacity (0 = off)")
 	prefetch := flag.Bool("prefetch", true, "prefetch the next segment in the background")
 	perUser := flag.Bool("per-user", false, "print one result row per session")
+	mode := flag.String("mode", "", "tiled delivery mode: fov|tiled|orig force one mode, mixed lets the policy decide per segment, frontier sweeps all modes and prints the policy-frontier table (empty = classic FOV/orig path, no tile ingest)")
 	shards := flag.Int("shards", 0, "serve in-process through an N-shard consistent-hash cluster (0 = single server)")
 	edgeCache := flag.Int64("edge-cache", 32, "cluster router edge-cache budget in MiB (≤ 0 = off)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard on the ring (0 = default)")
@@ -81,6 +83,24 @@ func main() {
 			log.Fatalf("-zipf-videos %d out of range [1,%d]", *zipfVideos, len(catalog))
 		}
 		specs = catalog[:*zipfVideos]
+	}
+
+	var force delivery.Mode
+	tiledRun := false
+	switch *mode {
+	case "":
+	case "fov":
+		force, tiledRun = delivery.ModeFOV, true
+	case "tiled":
+		force, tiledRun = delivery.ModeTiled, true
+	case "orig":
+		force, tiledRun = delivery.ModeOrig, true
+	case "mixed":
+		force, tiledRun = delivery.ModeAuto, true
+	case "frontier":
+		tiledRun = true
+	default:
+		log.Fatalf("unknown -mode %q (fov, tiled, orig, mixed, frontier, or empty)", *mode)
 	}
 
 	cfg := loadgen.Config{
@@ -113,6 +133,10 @@ func main() {
 	ingest.FullW = *width - *width%8
 	ingest.FullH = ingest.FullW / 2
 	ingest.MaxSegments = *segments
+	ingest.Tiled = tiledRun
+	if tiledRun && *mode != "frontier" {
+		cfg.Delivery = &client.TiledConfig{Enabled: true, Force: force}
+	}
 
 	var clu *cluster.Cluster
 	switch {
@@ -187,6 +211,16 @@ func main() {
 			baseURL, *respcache, *maxInflight, *storeDelay)
 		cfg.BaseURL = baseURL
 		cfg.Service = svc
+	}
+
+	if *mode == "frontier" {
+		if *url != "" || *shards > 0 {
+			log.Fatal("-mode=frontier needs the in-process single-server target (no -url, no -shards)")
+		}
+		if err := runFrontier(os.Stdout, cfg, ingest.FullW, ingest.FullH); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	rep, err := loadgen.Run(cfg)

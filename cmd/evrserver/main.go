@@ -5,7 +5,7 @@
 // Usage:
 //
 //	evrserver [-addr :8090] [-videos RS,Timelapse] [-segments 4] [-width 192]
-//	          [-respcache 64] [-max-inflight 0] [-retry-after 1s]
+//	          [-tiled] [-respcache 64] [-max-inflight 0] [-retry-after 1s]
 //	          [-pprof localhost:6060]
 //	          [-shards 3] [-edge-cache 32] [-vnodes 64]
 //
@@ -15,8 +15,9 @@
 // can't tell a cluster from a single server.
 //
 // Endpoints: /videos, /v/{video}/manifest, /v/{video}/orig/{seg},
-// /v/{video}/fov/{seg}/{cluster}, /v/{video}/fovmeta/{seg}/{cluster}, and
-// /metrics (JSON; ?format=prom for Prometheus text exposition). -pprof
+// /v/{video}/fov/{seg}/{cluster}, /v/{video}/fovmeta/{seg}/{cluster},
+// with -tiled also /v/{video}/tile/{seg}/{tile}/{rung} and
+// /v/{video}/tilelow/{seg}, and /metrics (JSON; ?format=prom for Prometheus text exposition). -pprof
 // serves net/http/pprof profiles on a separate listener.
 package main
 
@@ -43,6 +44,7 @@ func main() {
 	segments := flag.Int("segments", 4, "temporal segments to ingest per video (0 = all)")
 	live := flag.Bool("live", false, "live-streaming mode: no ingest analysis, no FOV videos (§8.3)")
 	lut := flag.Bool("lut", false, "pre-render FOV videos through the exact-mode mapping-LUT cache (byte-identical output; repeated cluster poses reuse tables)")
+	tiled := flag.Bool("tiled", false, "also ingest per-tile streams and a low-res backfill so clients can use viewport-adaptive tiled delivery")
 	width := flag.Int("width", 192, "panoramic ingest width (height = width/2)")
 	snapshot := flag.String("snapshot", "", "persist the SAS store to this file (loaded on start, saved after ingest)")
 	respcache := flag.Int64("respcache", server.DefaultServiceOptions().RespCacheBytes>>20, "response cache budget in MiB (0 = off)")
@@ -66,6 +68,7 @@ func main() {
 	cfg.FullH = cfg.FullW / 2
 	cfg.MaxSegments = *segments
 	cfg.LiveMode = *live
+	cfg.Tiled = *tiled
 	if *lut {
 		cfg.UseLUT = true
 		// One cache across all ingested videos: same viewport, so clusters

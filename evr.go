@@ -33,6 +33,7 @@ import (
 	"evr/internal/cluster"
 	"evr/internal/conformance"
 	"evr/internal/core"
+	"evr/internal/delivery"
 	"evr/internal/experiments"
 	"evr/internal/headtrace"
 	"evr/internal/hmd"
@@ -287,6 +288,36 @@ func NewLUTCache(maxBytes int64, reg *MetricsRegistry) *LUTCache {
 // NewLUTRenderer builds a LUT-backed renderer for one render configuration.
 func NewLUTRenderer(cfg PTConfig, cache *LUTCache, opts LUTOptions) (*LUTRenderer, error) {
 	return ptlut.NewRenderer(cfg, cache, opts)
+}
+
+// Viewport-adaptive tiled delivery (see internal/delivery and DESIGN.md
+// §14): a per-segment three-way policy between the pre-rendered FOV
+// stream, a predicted-viewport tile set over a low-res backfill, and the
+// full original panorama.
+type (
+	// DeliveryMode identifies one arm of the per-segment policy (FOV,
+	// tiled, orig) or ModeAuto to let the policy decide.
+	DeliveryMode = delivery.Mode
+	// DeliveryPolicy is the three-way decision configuration: predictor-
+	// confidence floor, link model, and bandwidth safety margin.
+	DeliveryPolicy = delivery.PolicyConfig
+	// TiledConfig turns on tiled delivery in a Player (assign to
+	// Player.Tiled); the zero value leaves the classic path untouched.
+	TiledConfig = client.TiledConfig
+)
+
+// Delivery mode constants for TiledConfig.Force and DeliveryPolicy use.
+const (
+	DeliveryAuto  = delivery.ModeAuto
+	DeliveryFOV   = delivery.ModeFOV
+	DeliveryTiled = delivery.ModeTiled
+	DeliveryOrig  = delivery.ModeOrig
+)
+
+// DefaultDeliveryPolicy returns the policy used when TiledConfig leaves it
+// unset: 0.5 confidence floor, WiFi link model, 0.8 bandwidth safety.
+func DefaultDeliveryPolicy(segmentDurationSec float64) DeliveryPolicy {
+	return delivery.DefaultPolicy(segmentDurationSec)
 }
 
 // Conformance: the differential + metamorphic testing oracle that pins the

@@ -9,16 +9,23 @@ import (
 )
 
 // segmentKey identifies one decoded segment payload in the cache: a FOV
-// video (cluster ≥ 0) or an original segment (cluster = origCluster).
+// video (cluster ≥ 0), an original segment (cluster = origCluster), one
+// tile stream (cluster = tileCluster, tile/rung set), or the low-res
+// backfill stream (cluster = lowCluster).
 type segmentKey struct {
 	video   string
 	seg     int
 	cluster int
+	tile    int
+	rung    int
 }
 
-// origCluster is the cluster pseudo-ID under which original (full-panorama)
-// segments are cached.
-const origCluster = -1
+// Cluster pseudo-IDs for the non-FOV payload kinds sharing the cache.
+const (
+	origCluster = -1
+	tileCluster = -2
+	lowCluster  = -3
+)
 
 // segmentEntry is one cached decoded segment: the frames ready for display
 // plus, for FOV videos, their per-frame orientation metadata.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"evr/internal/codec"
+	"evr/internal/delivery"
 	"evr/internal/frame"
 	"evr/internal/server"
 	"evr/internal/telemetry"
@@ -215,6 +216,27 @@ func (f *Fetcher) OrigSegment(baseURL, video string, seg int) ([]*frame.Frame, e
 	return e.frames, err
 }
 
+// TileSegment returns the decoded frames of one tile at one quality rung,
+// from cache when possible. Retries, the response cap, and singleflight
+// apply per tile, exactly as they do per segment.
+func (f *Fetcher) TileSegment(baseURL, video string, seg, tile, rung int) ([]*frame.Frame, error) {
+	key := segmentKey{video: video, seg: seg, cluster: tileCluster, tile: tile, rung: rung}
+	e, err := f.segment(key, false, func() (segmentEntry, error) {
+		return f.loadTile(baseURL, video, seg, tile, rung)
+	})
+	return e.frames, err
+}
+
+// TileLowSegment returns the decoded frames of a segment's low-res
+// backfill stream, from cache when possible.
+func (f *Fetcher) TileLowSegment(baseURL, video string, seg int) ([]*frame.Frame, error) {
+	key := segmentKey{video: video, seg: seg, cluster: lowCluster}
+	e, err := f.segment(key, false, func() (segmentEntry, error) {
+		return f.loadTileLow(baseURL, video, seg)
+	})
+	return e.frames, err
+}
+
 // PrefetchFOV warms the cache with a FOV video in the background.
 func (f *Fetcher) PrefetchFOV(baseURL, video string, seg, cluster int) {
 	f.prefetchSegment(segmentKey{video: video, seg: seg, cluster: cluster}, func() (segmentEntry, error) {
@@ -319,6 +341,39 @@ func (f *Fetcher) loadFOV(baseURL, video string, seg, cluster int) (segmentEntry
 // loadOrig downloads and decodes one original segment.
 func (f *Fetcher) loadOrig(baseURL, video string, seg int) (segmentEntry, error) {
 	payload, err := f.get(fmt.Sprintf("%s/v/%s/orig/%d", baseURL, video, seg))
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	return f.decodePayloadEntry(payload)
+}
+
+// loadTile downloads and decodes one tile payload, verifying the wire
+// header names the tile that was asked for — a confused (or hostile)
+// origin must not paint the wrong rectangle.
+func (f *Fetcher) loadTile(baseURL, video string, seg, tile, rung int) (segmentEntry, error) {
+	payload, err := f.get(fmt.Sprintf("%s/v/%s/tile/%d/%d/%d", baseURL, video, seg, tile, rung))
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	tm := f.cfg.Trace.StartTimer(telemetry.StageDecode)
+	defer tm.Stop()
+	p, err := delivery.UnmarshalTile(payload)
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	if p.Tile != tile || p.Rung != rung {
+		return segmentEntry{}, fmt.Errorf("client: asked for tile %d rung %d, payload is tile %d rung %d", tile, rung, p.Tile, p.Rung)
+	}
+	frames, err := codec.DecodeSequence(p.Bits)
+	if err != nil {
+		return segmentEntry{}, err
+	}
+	return segmentEntry{frames: frames}, nil
+}
+
+// loadTileLow downloads and decodes one backfill stream.
+func (f *Fetcher) loadTileLow(baseURL, video string, seg int) (segmentEntry, error) {
+	payload, err := f.get(fmt.Sprintf("%s/v/%s/tilelow/%d", baseURL, video, seg))
 	if err != nil {
 		return segmentEntry{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"evr/internal/delivery"
 	"evr/internal/frame"
 	"evr/internal/geom"
 	"evr/internal/hmd"
@@ -56,6 +57,11 @@ type Player struct {
 	// a broken FOV video falls back to the original segment, a broken
 	// original freezes the last displayed frame. Without it, errors abort.
 	Resilient bool
+	// Tiled configures the viewport-adaptive tiled delivery mode: a
+	// per-segment three-way policy decision (FOV stream / per-tile set /
+	// full original) against videos ingested with tile streams. The zero
+	// value keeps the classic FOV/orig behavior.
+	Tiled TiledConfig
 	// Workers sets the render worker pool for FOV-miss fallback frames
 	// (0 = one worker per PTU on the PTE path, GOMAXPROCS on the reference
 	// path). Output is byte-identical for every worker count.
@@ -84,6 +90,20 @@ type PlaybackStats struct {
 	LUTFrames     int // fallback frames rendered through the mapping-LUT cache
 	PayloadErrors int // corrupt/missing payloads survived (Resilient mode)
 	FrozenFrames  int // frames repeated because no content was decodable
+
+	// Tiled-delivery counters (all zero unless Tiled.Enabled and the video
+	// was ingested with tile streams). The Mode*Segments counters record
+	// the policy's per-segment decisions and sum to the segment count.
+	ModeFOVSegments   int // segments delivered as a pre-rendered FOV stream
+	ModeTiledSegments int // segments delivered as an assembled tile set
+	ModeOrigSegments  int // segments delivered as the full original panorama
+	TiledTiles        int // tile payloads fetched and assembled
+	TiledTileErrors   int // tile fetches that failed and fell to backfill quality
+	MispredictedTiles int // frame-tiles needed at the actual pose but not fetched
+	ModeledStalls     int // rebuffer events on the modeled link timeline
+	ModeledStallSec   float64
+	ModeledStartupSec float64
+	ModeledBytes      int64 // wire bytes on the modeled timeline (policy accounting)
 
 	// Fetch-layer counters for this run.
 	CacheHits       int // demand fetches served from cache or in-flight dedup
@@ -173,6 +193,12 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 			return stats, nil, err
 		}
 	}
+	// ts is nil unless tiled delivery is enabled AND this video carries
+	// tile streams; every tiled branch below is gated on it.
+	ts, err := newTiledSession(p.Tiled, man, p.HMD.FOVXDeg, p.HMD.FOVYDeg)
+	if err != nil {
+		return stats, nil, err
+	}
 
 	frameIdx := 0
 	for si, seg := range man.Segments {
@@ -187,12 +213,34 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 		// the current gaze (§5.3).
 		choice := bestCluster(&seg, gaze, tolerance)
 
+		// Tiled delivery: run the three-way policy decision for this
+		// segment. The FOV and orig outcomes reuse the classic paths
+		// below; only ModeTiled takes the assembly branch.
+		var plan tiledPlan
+		tiledSeg := false
+		if ts != nil && seg.Tiles != nil {
+			plan = ts.plan(&seg, imu.Trace(), frameIdx, choice, tolerance)
+			switch plan.mode {
+			case delivery.ModeFOV:
+				stats.ModeFOVSegments++
+			case delivery.ModeTiled:
+				stats.ModeTiledSegments++
+				tiledSeg = true
+			default:
+				stats.ModeOrigSegments++
+				choice = -1
+			}
+		}
+
 		// While this segment plays, warm the cache with the next segment's
 		// best-guess FOV video and its original-segment fallback, so the
 		// segment-boundary fetch — and a mid-segment FOV miss there —
 		// find decoded frames waiting (§5.3 latency hiding). The fetcher
 		// deduplicates against the demand fetches below via singleflight.
-		if si+1 < len(man.Segments) {
+		// Tiled sessions skip this warm-up: which payloads the next segment
+		// needs is the policy's call, and speculative full-segment fetches
+		// would defeat the bytes-on-wire accounting the mode exists for.
+		if ts == nil && si+1 < len(man.Segments) {
 			next := man.Segments[si+1]
 			if !(maxSegments > 0 && next.Index >= maxSegments) {
 				if nc := bestCluster(&next, gaze, tolerance); nc >= 0 {
@@ -204,34 +252,68 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 
 		var fovFrames []*frame.Frame
 		var fovMeta []server.FrameMeta
-		if choice >= 0 {
-			fovFrames, fovMeta, err = ftch.FOVSegment(p.BaseURL, video, seg.Index, choice)
+		var origFrames []*frame.Frame // decoded lazily on fallback
+		var tileFetched []bool
+		fallback := false
+		if tiledSeg {
+			origFrames, tileFetched, err = p.fetchTiled(ts, video, &seg, plan, &stats)
 			if err != nil {
+				// Losing the backfill (or a structural assembly failure)
+				// leaves nothing to paint tiles over: degrade the whole
+				// segment to the original stream.
 				if !p.Resilient {
 					return stats, nil, err
 				}
-				// A corrupt FOV video degrades to the original stream.
 				stats.PayloadErrors++
+				tiledSeg = false
 				choice = -1
+			} else {
+				// Assembled panorama: rendered like the original stream —
+				// each frame pays the client-side perspective transform.
+				fallback = true
 			}
 		}
-		var origFrames []*frame.Frame // decoded lazily on fallback
-		fallback := choice < 0
-		if fallback {
-			origFrames, err = ftch.OrigSegment(p.BaseURL, video, seg.Index)
-			if err != nil {
-				if !p.Resilient {
-					return stats, nil, err
+		if !tiledSeg {
+			if choice >= 0 {
+				fovFrames, fovMeta, err = ftch.FOVSegment(p.BaseURL, video, seg.Index, choice)
+				if err != nil {
+					if !p.Resilient {
+						return stats, nil, err
+					}
+					// A corrupt FOV video degrades to the original stream.
+					stats.PayloadErrors++
+					choice = -1
 				}
-				stats.PayloadErrors++
-				origFrames = nil // freeze frames below
 			}
-			stats.Fallbacks++
+			fallback = choice < 0
+			if fallback {
+				origFrames, err = ftch.OrigSegment(p.BaseURL, video, seg.Index)
+				if err != nil {
+					if !p.Resilient {
+						return stats, nil, err
+					}
+					stats.PayloadErrors++
+					origFrames = nil // freeze frames below
+				}
+				stats.Fallbacks++
+			}
+		}
+		if ts != nil && seg.Tiles != nil {
+			// Advance the modeled link timeline by what the resolved mode
+			// actually shipped (a degraded tiled segment costs orig bytes).
+			b := plan.bytes
+			if plan.mode == delivery.ModeTiled && !tiledSeg {
+				b = int64(seg.OrigBytes)
+			}
+			ts.timeline.Advance(b)
 		}
 
 		for f := 0; f < seg.Frames && frameIdx < imu.Frames(); f, frameIdx = f+1, frameIdx+1 {
 			sp := p.Trace.StartFrame(seg.Index, frameIdx)
 			o := imu.At(frameIdx)
+			if tiledSeg {
+				ts.countMispredicted(o, tileFetched, &stats)
+			}
 			hit := false
 			sp.Start(telemetry.StageFOVCheck)
 			if !fallback && f < len(fovFrames) && f < len(fovMeta) {
@@ -304,6 +386,12 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 			sp.SetHit(hit)
 			sp.Finish()
 		}
+	}
+	if ts != nil {
+		stats.ModeledStalls = ts.timeline.Stalls
+		stats.ModeledStallSec = ts.timeline.StallSec
+		stats.ModeledStartupSec = ts.timeline.StartupDelay
+		stats.ModeledBytes = ts.timeline.Bytes
 	}
 	return stats, displayed, nil
 }

@@ -1,0 +1,280 @@
+package client
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"evr/internal/abr"
+	"evr/internal/delivery"
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/headtrace"
+	"evr/internal/hmp"
+	"evr/internal/netsim"
+	"evr/internal/projection"
+	"evr/internal/server"
+	"evr/internal/tiling"
+)
+
+// TiledConfig enables the viewport-adaptive tiled delivery mode: per
+// segment, the delivery policy engine chooses between the pre-rendered FOV
+// stream, a per-tile fetch set assembled client-side over a low-res
+// backfill, and the full original panorama. The zero value leaves the
+// player in the classic FOV/orig mode.
+type TiledConfig struct {
+	// Enabled turns the tiled delivery mode on. It only takes effect for
+	// videos whose manifest advertises tile streams (tiled ingest).
+	Enabled bool
+	// Force pins every segment to one delivery mode instead of letting the
+	// policy decide (delivery.ModeAuto = decide per segment). Used by the
+	// load generator to sweep the policy frontier.
+	Force delivery.Mode
+	// Link models the access link the policy budgets against and the
+	// playback timeline downloads over. Zero value = the paper's 300 Mbps
+	// Wi-Fi evaluation link.
+	Link netsim.Link
+	// Predictor forecasts the head pose at segment display time; the
+	// visible-tile set is computed at the predicted pose. nil = the
+	// constant-velocity linear predictor.
+	Predictor hmp.Predictor
+	// FetchMarginDeg widens the tile-fetch viewport beyond the HMD FOV on
+	// each side, buying prediction-error headroom with extra tiles on the
+	// wire (mispredictions beyond it degrade to backfill quality, never
+	// stall). 0 = a 10° default; capped so the fetch viewport never
+	// exceeds the FOV-stream width.
+	FetchMarginDeg float64
+	// FOVConfidenceMin and BandwidthSafety override the corresponding
+	// delivery.PolicyConfig knobs when > 0.
+	FOVConfidenceMin float64
+	BandwidthSafety  float64
+}
+
+// tiledSession is the per-Play state of the tiled delivery mode: the grid
+// geometry from the manifest, the policy engine, the rung controller, and
+// the modeled playback timeline whose buffer level feeds both.
+type tiledSession struct {
+	grid      tiling.Grid
+	method    projection.Method
+	policy    delivery.PolicyConfig
+	force     delivery.Mode
+	predictor hmp.Predictor
+	ctrl      *abr.Controller
+	timeline  *delivery.Timeline
+	// fetchVP is the viewport tile visibility is computed against at the
+	// predicted pose: the HMD FOV plus the fetch margin (capped at the
+	// FOV-stream width). needVP is the bare HMD-FOV viewport used to
+	// judge, at the actual pose, which tiles were truly needed.
+	fetchVP, needVP projection.Viewport
+	fullW, fullH    int
+}
+
+// newTiledSession builds the tiled-mode state for one playback, or nil when
+// the mode is off or the manifest has no tile streams.
+func newTiledSession(cfg TiledConfig, man *server.Manifest, hmdFOVXDeg, hmdFOVYDeg float64) (*tiledSession, error) {
+	if !cfg.Enabled || man.Tiling == nil {
+		return nil, nil
+	}
+	grid := tiling.Grid{Cols: man.Tiling.Cols, Rows: man.Tiling.Rows}
+	if err := grid.Validate(man.FullW, man.FullH); err != nil {
+		return nil, fmt.Errorf("client: manifest tiling: %w", err)
+	}
+	if man.FPS <= 0 || man.SegmentFrames <= 0 {
+		return nil, fmt.Errorf("client: manifest has no timing (fps %d, segment %d frames)", man.FPS, man.SegmentFrames)
+	}
+	segDur := float64(man.SegmentFrames) / float64(man.FPS)
+	link := cfg.Link
+	if link.BandwidthBps == 0 {
+		link = netsim.WiFi300()
+	}
+	policy := delivery.DefaultPolicy(segDur)
+	policy.Link = link
+	if cfg.FOVConfidenceMin > 0 {
+		policy.FOVConfidenceMin = cfg.FOVConfidenceMin
+	}
+	if cfg.BandwidthSafety > 0 {
+		policy.BandwidthSafety = cfg.BandwidthSafety
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	ctrl, err := abr.NewBufferController(man.Tiling.Rungs, segDur)
+	if err != nil {
+		return nil, err
+	}
+	predictor := cfg.Predictor
+	if predictor == nil {
+		predictor = hmp.LinearPredictor{}
+	}
+	margin := cfg.FetchMarginDeg
+	if margin == 0 {
+		margin = 10
+	}
+	fetchX := math.Min(hmdFOVXDeg+2*margin, man.FOVXDeg)
+	fetchY := math.Min(hmdFOVYDeg+2*margin, man.FOVYDeg)
+	return &tiledSession{
+		grid:      grid,
+		method:    projection.Method(man.Projection),
+		policy:    policy,
+		force:     cfg.Force,
+		predictor: predictor,
+		ctrl:      ctrl,
+		timeline:  delivery.NewTimeline(link, segDur),
+		fetchVP: projection.Viewport{
+			Width: man.FOVW, Height: man.FOVH,
+			FOVX: geom.Radians(fetchX), FOVY: geom.Radians(fetchY),
+		},
+		needVP: projection.Viewport{
+			Width: man.FOVW, Height: man.FOVH,
+			FOVX: geom.Radians(hmdFOVXDeg), FOVY: geom.Radians(hmdFOVYDeg),
+		},
+		fullW: man.FullW,
+		fullH: man.FullH,
+	}, nil
+}
+
+// tiledPlan is one segment's delivery decision: the resolved mode, the
+// per-tile rung choices (tiled mode only), and the modeled wire bytes of
+// the chosen mode that advance the playback timeline.
+type tiledPlan struct {
+	mode  delivery.Mode
+	rungs []int
+	bytes int64
+}
+
+// plan runs the three-way delivery decision for one segment: predict the
+// pose at segment display time, price the tile set the prediction makes
+// visible, and let the policy engine (or a forced mode) choose.
+func (ts *tiledSession) plan(seg *server.SegmentInfo, tr headtrace.Trace, frameIdx, choice int, tolerance float64) tiledPlan {
+	predicted := ts.predictor.Predict(tr, frameIdx, seg.Frames/2)
+
+	var fovBytes int64
+	confidence := 0.0
+	if choice >= 0 {
+		for _, cl := range seg.Clusters {
+			if cl.ID == choice && len(cl.Meta) > 0 {
+				o := geom.Orientation{Yaw: cl.Meta[0].Yaw, Pitch: cl.Meta[0].Pitch}
+				confidence = delivery.FOVConfidence(predicted, o, tolerance)
+				fovBytes = int64(cl.Bytes)
+				break
+			}
+		}
+	}
+
+	visible := ts.grid.Visible(ts.fetchVP, predicted, ts.method)
+	dist := make([]float64, ts.grid.Tiles())
+	fwd := predicted.Forward()
+	for t := range dist {
+		dist[t] = angleBetween(fwd, ts.grid.Center(t, ts.method))
+	}
+	rungs := delivery.PickTileRungs(visible, seg.Tiles.TileBytes, ts.ctrl.Pick(ts.timeline.Buffer()), ts.policy.ByteBudget(), dist)
+	// Acuity falloff: tiles beyond the HMD half-FOV from the predicted
+	// gaze are peripheral — ship them coarser.
+	delivery.DemotePeripheral(rungs, seg.Tiles.TileBytes, dist, ts.needVP.FOVX/2)
+	tiledBytes := int64(seg.Tiles.LowBytes)
+	for t, r := range rungs {
+		if r >= 0 {
+			tiledBytes += int64(seg.Tiles.TileBytes[t][r])
+		}
+	}
+
+	d := ts.policy.Decide(delivery.SegmentInputs{
+		FOVBytes:      fovBytes,
+		FOVConfidence: confidence,
+		TiledBytes:    tiledBytes,
+		OrigBytes:     int64(seg.OrigBytes),
+		BufferSec:     ts.timeline.Buffer(),
+	})
+	mode := d.Mode
+	if ts.force != delivery.ModeAuto {
+		mode = ts.force
+	}
+	// A forced FOV mode without a usable cluster stream has nothing to
+	// display; the original stream is the only honest fallback.
+	if mode == delivery.ModeFOV && fovBytes == 0 {
+		mode = delivery.ModeOrig
+	}
+	var bytes int64
+	switch mode {
+	case delivery.ModeFOV:
+		bytes = fovBytes
+	case delivery.ModeTiled:
+		bytes = tiledBytes
+	default:
+		bytes = int64(seg.OrigBytes)
+	}
+	return tiledPlan{mode: mode, rungs: rungs, bytes: bytes}
+}
+
+// fetchTiled downloads one segment's planned tile set concurrently over the
+// low-res backfill stream and assembles the full panorama. A failed tile
+// fetch never aborts the segment — that tile's rectangle simply stays at
+// backfill quality (counted in stats). A missing backfill stream or a
+// structural assembly error fails the whole segment: there is nothing to
+// paint tiles over.
+func (p *Player) fetchTiled(ts *tiledSession, video string, seg *server.SegmentInfo, plan tiledPlan, stats *PlaybackStats) ([]*frame.Frame, []bool, error) {
+	ftch := p.Fetcher()
+	low, err := ftch.TileLowSegment(p.BaseURL, video, seg.Index)
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		tiles    = make(map[int][]*frame.Frame)
+		tileErrs int
+	)
+	for t, r := range plan.rungs {
+		if r < 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(t, r int) {
+			defer wg.Done()
+			frames, err := ftch.TileSegment(p.BaseURL, video, seg.Index, t, r)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				tileErrs++
+				return
+			}
+			tiles[t] = frames
+		}(t, r)
+	}
+	wg.Wait()
+	stats.TiledTiles += len(tiles)
+	stats.TiledTileErrors += tileErrs
+	assembled, err := delivery.Assemble(ts.grid, ts.fullW, ts.fullH, low, tiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	fetched := make([]bool, ts.grid.Tiles())
+	for t := range tiles {
+		fetched[t] = true
+	}
+	return assembled, fetched, nil
+}
+
+// countMispredicted adds, for one displayed frame at the actual pose o, the
+// tiles the HMD viewport needed but the predicted fetch set did not cover —
+// the rectangles the viewer saw at backfill quality.
+func (ts *tiledSession) countMispredicted(o geom.Orientation, fetched []bool, stats *PlaybackStats) {
+	need := ts.grid.Visible(ts.needVP, o, ts.method)
+	for t, n := range need {
+		if n && (t >= len(fetched) || !fetched[t]) {
+			stats.MispredictedTiles++
+		}
+	}
+}
+
+// angleBetween returns the angle in radians between two unit vectors.
+func angleBetween(a, b geom.Vec3) float64 {
+	d := a.Dot(b)
+	if d > 1 {
+		d = 1
+	}
+	if d < -1 {
+		d = -1
+	}
+	return math.Acos(d)
+}

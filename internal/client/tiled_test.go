@@ -1,0 +1,213 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+
+	"evr/internal/delivery"
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+// startTiledTestServer ingests a short slice of a video with tile streams
+// enabled and serves it. At 96×48 the adaptive defaults resolve to a 2×2
+// grid with a half-resolution backfill stream.
+func startTiledTestServer(t *testing.T, video string, segments int) (*httptest.Server, scene.VideoSpec) {
+	t.Helper()
+	v, ok := scene.ByName(video)
+	if !ok {
+		t.Fatalf("unknown video %q", video)
+	}
+	cfg := server.DefaultIngestConfig()
+	cfg.FullW, cfg.FullH = 96, 48
+	cfg.FOVW, cfg.FOVH = 32, 32
+	cfg.MaxSegments = segments
+	cfg.Codec.SearchRange = 1
+	cfg.Tiled = true
+	svc := server.NewService(store.New())
+	if _, err := svc.IngestVideo(v, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts, v
+}
+
+// tiledPlayer is a player with tiled delivery on, optionally pinned to one
+// mode.
+func tiledPlayer(url string, force delivery.Mode) *Player {
+	p := NewPlayer(url)
+	p.Fetch = fastFetchConfig()
+	p.Tiled = TiledConfig{Enabled: true, Force: force}
+	return p
+}
+
+// TestTiledPlaybackEndToEnd forces every segment through the tile path and
+// checks geometry, accounting, and run-to-run determinism.
+func TestTiledPlaybackEndToEnd(t *testing.T) {
+	ts, v := startTiledTestServer(t, "RS", 2)
+	imu := func() *hmd.IMU { return hmd.NewIMU(headtrace.Generate(v, 0)) }
+
+	p := tiledPlayer(ts.URL, delivery.ModeTiled)
+	stats, frames, err := p.Play("RS", imu(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Frames != 60 {
+		t.Fatalf("played %d frames, want 60", stats.Frames)
+	}
+	if stats.ModeTiledSegments != 2 || stats.ModeFOVSegments != 0 || stats.ModeOrigSegments != 0 {
+		t.Errorf("forced tiled gave modes fov=%d tiled=%d orig=%d",
+			stats.ModeFOVSegments, stats.ModeTiledSegments, stats.ModeOrigSegments)
+	}
+	if stats.TiledTiles == 0 {
+		t.Error("no tiles fetched in tiled mode")
+	}
+	if stats.TiledTileErrors != 0 {
+		t.Errorf("%d tile errors against a healthy origin", stats.TiledTileErrors)
+	}
+	// Assembled panoramas are rendered client-side: every frame is a miss.
+	if stats.Hits != 0 || stats.Misses != 60 {
+		t.Errorf("tiled run hits=%d misses=%d, want 0/60", stats.Hits, stats.Misses)
+	}
+	if stats.ModeledBytes == 0 || stats.ModeledStartupSec <= 0 {
+		t.Errorf("modeled timeline never advanced: %+v", stats)
+	}
+	vp := p.HMD.ScaledViewport(p.ViewportScale)
+	for i, f := range frames {
+		if f.W != vp.Width || f.H != vp.Height {
+			t.Fatalf("frame %d is %dx%d, want %dx%d", i, f.W, f.H, vp.Width, vp.Height)
+		}
+	}
+	assertAccounting(t, "tiled", stats, frames)
+
+	again, frames2, err := tiledPlayer(ts.URL, delivery.ModeTiled).Play("RS", imu(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !framesEqual(frames, frames2) {
+		t.Error("tiled playback is not deterministic across runs")
+	}
+	if again.ModeledBytes != stats.ModeledBytes {
+		t.Errorf("modeled bytes differ across runs: %d vs %d", stats.ModeledBytes, again.ModeledBytes)
+	}
+}
+
+// TestTiledPolicyDecidesPerSegment runs the auto policy and checks every
+// segment resolves to exactly one mode, and that the tiled plan undercuts
+// the full original on modeled wire bytes.
+func TestTiledPolicyDecidesPerSegment(t *testing.T) {
+	ts, v := startTiledTestServer(t, "RS", 2)
+	imu := func() *hmd.IMU { return hmd.NewIMU(headtrace.Generate(v, 0)) }
+
+	stats, frames, err := tiledPlayer(ts.URL, delivery.ModeAuto).Play("RS", imu(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.ModeFOVSegments + stats.ModeTiledSegments + stats.ModeOrigSegments; got != 2 {
+		t.Errorf("mode counters sum to %d, want 2 (one decision per segment)", got)
+	}
+	assertAccounting(t, "auto policy", stats, frames)
+
+	orig, _, err := tiledPlayer(ts.URL, delivery.ModeOrig).Play("RS", imu(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, _, err := tiledPlayer(ts.URL, delivery.ModeTiled).Play("RS", imu(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.ModeledBytes >= orig.ModeledBytes {
+		t.Errorf("tiled modeled bytes %d not below full-orig %d", tiled.ModeledBytes, orig.ModeledBytes)
+	}
+}
+
+// lostTileHandler permanently fails every request for one tile index —
+// the satellite fault-injection shape: a flaky origin that keeps losing
+// the same tile.
+type lostTileHandler struct {
+	inner http.Handler
+	lost  *regexp.Regexp
+}
+
+func (h *lostTileHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.lost.MatchString(r.URL.Path) {
+		http.Error(w, "tile lost", http.StatusInternalServerError)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// TestTiledLostTileBackfillsDeterministically injects a permanently lost
+// tile (retries disabled, so every fetch of it fails) and checks the
+// player absorbs it: playback completes at full frame count with the lost
+// rectangle at backfill quality, no frozen frames, and two runs display
+// byte-identical output.
+func TestTiledLostTileBackfillsDeterministically(t *testing.T) {
+	ts, v := startTiledTestServer(t, "RS", 2)
+	// Tile 0 of every segment is unservable: /v/RS/tile/{seg}/0/{rung}.
+	flaky := httptest.NewServer(&lostTileHandler{
+		inner: proxyTo(t, ts.URL),
+		lost:  regexp.MustCompile(`^/v/RS/tile/\d+/0/\d+$`),
+	})
+	defer flaky.Close()
+
+	imu := func() *hmd.IMU { return hmd.NewIMU(headtrace.Generate(v, 0)) }
+	newP := func() *Player {
+		p := tiledPlayer(flaky.URL, delivery.ModeTiled)
+		p.Fetch.MaxRetries = 0 // the loss is permanent; retries cannot mask it
+		p.Resilient = true
+		return p
+	}
+	stats, frames, err := newP().Play("RS", imu(), 2)
+	if err != nil {
+		t.Fatalf("lost tile aborted playback: %v", err)
+	}
+	if stats.Frames != 60 {
+		t.Fatalf("played %d frames, want 60", stats.Frames)
+	}
+	if stats.TiledTileErrors == 0 {
+		t.Error("no tile errors recorded against a lossy origin")
+	}
+	if stats.ModeTiledSegments != 2 {
+		t.Errorf("tiled segments %d, want 2 — a lost tile must not fail the segment", stats.ModeTiledSegments)
+	}
+	if stats.FrozenFrames != 0 {
+		t.Errorf("%d frozen frames — backfill should have covered the loss", stats.FrozenFrames)
+	}
+	if stats.PayloadErrors != 0 {
+		t.Errorf("%d payload errors — tile loss must be absorbed below segment level", stats.PayloadErrors)
+	}
+	assertAccounting(t, "lost tile", stats, frames)
+
+	stats2, frames2, err := newP().Play("RS", imu(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !framesEqual(frames, frames2) {
+		t.Error("lost-tile playback is not deterministic across runs")
+	}
+	if stats2.TiledTileErrors != stats.TiledTileErrors {
+		t.Errorf("tile error counts differ across runs: %d vs %d", stats.TiledTileErrors, stats2.TiledTileErrors)
+	}
+
+	// A healthy origin keeps the same accounting with zero tile errors.
+	ph := tiledPlayer(ts.URL, delivery.ModeTiled)
+	ph.Fetch.MaxRetries = 0
+	ph.Resilient = true
+	healthy, _, err := ph.Play("RS", imu(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.TiledTileErrors != 0 {
+		t.Errorf("healthy origin recorded %d tile errors", healthy.TiledTileErrors)
+	}
+	if stats.Frames != healthy.Frames {
+		t.Errorf("lossy run played %d frames, healthy %d", stats.Frames, healthy.Frames)
+	}
+}

@@ -16,6 +16,8 @@ import (
 //	GET /v/{video}/orig/{seg}        → edge cache, then the owning shard
 //	GET /v/{video}/fov/{seg}/{c}     → edge cache, then the owning shard
 //	GET /v/{video}/fovmeta/{seg}/{c} → edge cache, then the owning shard
+//	GET /v/{video}/tile/{seg}/{t}/{q} → edge cache, then the owning shard
+//	GET /v/{video}/tilelow/{seg}     → edge cache, then the owning shard
 //	GET /metrics                     → router + edge + per-shard snapshot
 //	GET /healthz                     → router liveness + live shard count
 func (c *Cluster) Handler() http.Handler {
@@ -29,7 +31,29 @@ func (c *Cluster) Handler() http.Handler {
 	mux.HandleFunc("GET /v/{video}/orig/{seg}", c.segmentProxy("orig"))
 	mux.HandleFunc("GET /v/{video}/fov/{seg}/{cluster}", c.segmentProxy("fov"))
 	mux.HandleFunc("GET /v/{video}/fovmeta/{seg}/{cluster}", c.segmentProxy("fovmeta"))
+	mux.HandleFunc("GET /v/{video}/tile/{seg}/{tile}/{rung}", c.tileProxy)
+	mux.HandleFunc("GET /v/{video}/tilelow/{seg}", c.segmentProxy("tilelow"))
 	return mux
+}
+
+// tileProxy serves one tile payload through the edge tier. Tile keys route
+// on (video, seg) — the same ring position as the segment's other payload
+// kinds — so a single shard owns every tile of a segment and its respcache
+// sees the segment's whole tile working set. The edge entry is still keyed
+// per (tile, rung), so distinct rungs never alias.
+func (c *Cluster) tileProxy(w http.ResponseWriter, r *http.Request) {
+	c.requests.Inc()
+	video, seg := r.PathValue("video"), r.PathValue("seg")
+	tileID := r.PathValue("tile") + "/" + r.PathValue("rung")
+	load := func() (*edgeResp, int) { return c.route(video, seg, r) }
+	var resp *edgeResp
+	var hit bool
+	if c.edge != nil {
+		resp, hit = c.edge.get(edgeKey{video: video, seg: seg, cluster: tileID, kind: "tile"}, load)
+	} else {
+		resp, _ = load()
+	}
+	writeResp(w, resp, hit)
 }
 
 // capture is the in-process ResponseWriter the router hands a shard

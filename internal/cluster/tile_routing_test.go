@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+// tiledClusterIngest is the test ingest with tile streams enabled. At
+// 48×24 the adaptive defaults resolve to a 2×1 grid with an unscaled
+// backfill stream.
+func tiledClusterIngest() server.IngestConfig {
+	cfg := clusterIngest()
+	cfg.Tiled = true
+	return cfg
+}
+
+// tilePaths enumerates every tile endpoint of the routed manifest.
+func tilePaths(t *testing.T, h http.Handler) []string {
+	t.Helper()
+	rec := get(h, "/v/CLUSTER/manifest")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("manifest: status %d", rec.Code)
+	}
+	var man server.Manifest
+	if err := json.Unmarshal(rec.Body.Bytes(), &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.Tiling == nil {
+		t.Fatal("routed manifest has no tiling info")
+	}
+	var paths []string
+	for _, seg := range man.Segments {
+		if seg.Tiles == nil {
+			t.Fatalf("segment %d has no tile info", seg.Index)
+		}
+		paths = append(paths, fmt.Sprintf("/v/CLUSTER/tilelow/%d", seg.Index))
+		for tile := range seg.Tiles.TileBytes {
+			for rung := range seg.Tiles.TileBytes[tile] {
+				paths = append(paths, fmt.Sprintf("/v/CLUSTER/tile/%d/%d/%d", seg.Index, tile, rung))
+			}
+		}
+	}
+	return paths
+}
+
+// TestTileRoutingByteIdentical extends the routed-vs-single byte-identity
+// gate to the tile surface: every tile payload and backfill stream served
+// through the 3-shard router matches a single server bit for bit.
+func TestTileRoutingByteIdentical(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Shards = 3
+	opts.EdgeCacheBytes = 1 << 20
+	c, err := New(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(clusterSpec(), tiledClusterIngest()); err != nil {
+		t.Fatal(err)
+	}
+	router := c.Handler()
+
+	single := server.NewServiceOpts(store.New(), server.DefaultServiceOptions())
+	if _, err := single.IngestVideo(clusterSpec(), tiledClusterIngest()); err != nil {
+		t.Fatal(err)
+	}
+	ref := single.Handler()
+
+	paths := tilePaths(t, router)
+	if len(paths) < 8 {
+		t.Fatalf("only %d tile paths — tiled ingest too small", len(paths))
+	}
+	for _, p := range paths {
+		got, want := get(router, p), get(ref, p)
+		if got.Code != http.StatusOK || want.Code != http.StatusOK {
+			t.Errorf("%s: routed %d, single %d", p, got.Code, want.Code)
+			continue
+		}
+		if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+			t.Errorf("%s: routed bytes differ from single-server", p)
+		}
+	}
+}
+
+// TestTileSegmentOwnership pins the routing key: every tile of a segment
+// routes to the shard owning (video, seg) — the one the segment's orig
+// payload routes to — so a shard-local cache sees the whole tile set.
+func TestTileSegmentOwnership(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Shards = 3
+	opts.EdgeCacheBytes = 0 // no edge: every request must reach a shard
+	c, err := New(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(clusterSpec(), tiledClusterIngest()); err != nil {
+		t.Fatal(err)
+	}
+	router := c.Handler()
+
+	for seg := 0; seg < 4; seg++ {
+		before := make([]int64, len(c.shards))
+		for i, ss := range c.Stats().Shards {
+			before[i] = ss.Requests
+		}
+		for _, p := range []string{
+			fmt.Sprintf("/v/CLUSTER/orig/%d", seg),
+			fmt.Sprintf("/v/CLUSTER/tilelow/%d", seg),
+			fmt.Sprintf("/v/CLUSTER/tile/%d/0/0", seg),
+			fmt.Sprintf("/v/CLUSTER/tile/%d/1/2", seg),
+		} {
+			if rec := get(router, p); rec.Code != http.StatusOK {
+				t.Fatalf("%s: status %d", p, rec.Code)
+			}
+		}
+		moved := 0
+		for i, ss := range c.Stats().Shards {
+			if ss.Requests != before[i] {
+				moved++
+				if ss.Requests != before[i]+4 {
+					t.Errorf("segment %d: shard %d took %d of 4 requests", seg, i, ss.Requests-before[i])
+				}
+			}
+		}
+		if moved != 1 {
+			t.Errorf("segment %d: payloads spread across %d shards, want 1", seg, moved)
+		}
+	}
+}
+
+// TestTileEdgeCacheHitsAndKeying checks the edge tier caches tiles per
+// (tile, rung) — a repeat is a hit, a different rung is not aliased.
+func TestTileEdgeCacheHitsAndKeying(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Shards = 2
+	opts.EdgeCacheBytes = 1 << 20
+	c, err := New(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(clusterSpec(), tiledClusterIngest()); err != nil {
+		t.Fatal(err)
+	}
+	router := c.Handler()
+
+	first := get(router, "/v/CLUSTER/tile/0/0/0")
+	if first.Code != http.StatusOK || first.Header().Get("X-EVR-Edge") != "miss" {
+		t.Fatalf("first fetch: %d edge=%s", first.Code, first.Header().Get("X-EVR-Edge"))
+	}
+	second := get(router, "/v/CLUSTER/tile/0/0/0")
+	if second.Header().Get("X-EVR-Edge") != "hit" {
+		t.Errorf("repeat fetch edge=%s, want hit", second.Header().Get("X-EVR-Edge"))
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("edge hit served different bytes")
+	}
+	otherRung := get(router, "/v/CLUSTER/tile/0/0/1")
+	if otherRung.Header().Get("X-EVR-Edge") != "miss" {
+		t.Errorf("different rung edge=%s, want miss (no aliasing)", otherRung.Header().Get("X-EVR-Edge"))
+	}
+	if bytes.Equal(first.Body.Bytes(), otherRung.Body.Bytes()) {
+		t.Error("rung 0 and rung 1 served identical payloads — keys aliased")
+	}
+	low := get(router, "/v/CLUSTER/tilelow/0")
+	if low.Code != http.StatusOK {
+		t.Fatalf("tilelow: %d", low.Code)
+	}
+	lowRepeat := get(router, "/v/CLUSTER/tilelow/0")
+	if lowRepeat.Header().Get("X-EVR-Edge") != "hit" {
+		t.Errorf("tilelow repeat edge=%s, want hit", lowRepeat.Header().Get("X-EVR-Edge"))
+	}
+}

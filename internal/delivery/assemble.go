@@ -1,0 +1,63 @@
+package delivery
+
+import (
+	"fmt"
+
+	"evr/internal/display"
+	"evr/internal/frame"
+	"evr/internal/tiling"
+)
+
+// Assemble reconstructs full frames from the low-res backfill stream and
+// whatever tiles arrived. The low frames are upscaled to w×h to fill the
+// whole canvas, then each fetched tile overwrites its rectangle. Tiles
+// that were mispredicted, lost, or skipped simply stay at backfill
+// quality — assembly never fails because a tile is missing.
+func Assemble(g tiling.Grid, w, h int, low []*frame.Frame, tiles map[int][]*frame.Frame) ([]*frame.Frame, error) {
+	if err := g.Validate(w, h); err != nil {
+		return nil, err
+	}
+	if len(low) == 0 {
+		return nil, fmt.Errorf("delivery: assemble needs a backfill stream")
+	}
+	tw, th := w/g.Cols, h/g.Rows
+	out := make([]*frame.Frame, len(low))
+	for i, lf := range low {
+		if lf == nil {
+			return nil, fmt.Errorf("delivery: nil backfill frame %d", i)
+		}
+		up, err := display.Scale(lf, w, h)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = up
+	}
+	for t, tf := range tiles {
+		if t < 0 || t >= g.Tiles() {
+			return nil, fmt.Errorf("delivery: tile %d outside %dx%d grid", t, g.Cols, g.Rows)
+		}
+		x, y := (t%g.Cols)*tw, (t/g.Cols)*th
+		for i, f := range tf {
+			if i >= len(out) {
+				break // tile stream longer than backfill; extra frames undisplayable
+			}
+			if f == nil {
+				continue
+			}
+			if f.W != tw || f.H != th {
+				return nil, fmt.Errorf("delivery: tile %d frame %d is %dx%d, rect wants %dx%d", t, i, f.W, f.H, tw, th)
+			}
+			blit(out[i], f, x, y)
+		}
+	}
+	return out, nil
+}
+
+// blit copies src into dst at (x, y). Callers guarantee the rectangle fits.
+func blit(dst, src *frame.Frame, x, y int) {
+	for row := 0; row < src.H; row++ {
+		dstOff := ((y+row)*dst.W + x) * 3
+		srcOff := row * src.W * 3
+		copy(dst.Pix[dstOff:dstOff+src.W*3], src.Pix[srcOff:srcOff+src.W*3])
+	}
+}

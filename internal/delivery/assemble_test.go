@@ -1,0 +1,76 @@
+package delivery
+
+import (
+	"testing"
+
+	"evr/internal/frame"
+	"evr/internal/tiling"
+)
+
+func flatFrame(w, h int, r, g, b byte) *frame.Frame {
+	f := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Set(x, y, r, g, b)
+		}
+	}
+	return f
+}
+
+func TestAssembleBackfillAndOverwrite(t *testing.T) {
+	g := tiling.Grid{Cols: 2, Rows: 2}
+	const w, h = 32, 16
+	low := []*frame.Frame{flatFrame(w/2, h/2, 10, 10, 10)}
+	tiles := map[int][]*frame.Frame{
+		3: {flatFrame(w/2, h/2, 200, 0, 0)}, // bottom-right tile
+	}
+	out, err := Assemble(g, w, h, low, tiles)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if len(out) != 1 || out[0].W != w || out[0].H != h {
+		t.Fatalf("got %d frames, first %dx%d", len(out), out[0].W, out[0].H)
+	}
+	// Top-left pixel comes from the upscaled backfill.
+	if r, _, _ := out[0].At(0, 0); r != 10 {
+		t.Errorf("backfill pixel r = %d, want 10", r)
+	}
+	// Bottom-right region comes from the fetched tile.
+	if r, _, _ := out[0].At(w-1, h-1); r != 200 {
+		t.Errorf("tile pixel r = %d, want 200", r)
+	}
+	// Tile boundary: just left of the bottom-right tile is still backfill.
+	if r, _, _ := out[0].At(w/2-1, h-1); r != 10 {
+		t.Errorf("adjacent pixel r = %d, want 10", r)
+	}
+}
+
+func TestAssembleMissingTilesDegrade(t *testing.T) {
+	g := tiling.Grid{Cols: 2, Rows: 1}
+	low := []*frame.Frame{flatFrame(16, 8, 7, 7, 7)}
+	out, err := Assemble(g, 32, 16, low, nil) // no tiles at all
+	if err != nil {
+		t.Fatalf("assemble with no tiles: %v", err)
+	}
+	if r, _, _ := out[0].At(31, 15); r != 7 {
+		t.Errorf("pixel r = %d, want backfill 7", r)
+	}
+}
+
+func TestAssembleRejects(t *testing.T) {
+	g := tiling.Grid{Cols: 2, Rows: 2}
+	low := []*frame.Frame{flatFrame(16, 8, 0, 0, 0)}
+	if _, err := Assemble(g, 30, 16, low, nil); err == nil {
+		t.Error("invalid grid accepted")
+	}
+	if _, err := Assemble(g, 32, 16, nil, nil); err == nil {
+		t.Error("missing backfill accepted")
+	}
+	if _, err := Assemble(g, 32, 16, low, map[int][]*frame.Frame{9: nil}); err == nil {
+		t.Error("out-of-grid tile accepted")
+	}
+	bad := map[int][]*frame.Frame{0: {flatFrame(4, 4, 0, 0, 0)}}
+	if _, err := Assemble(g, 32, 16, low, bad); err == nil {
+		t.Error("wrong tile dims accepted")
+	}
+}

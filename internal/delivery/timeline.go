@@ -1,0 +1,66 @@
+package delivery
+
+import "evr/internal/netsim"
+
+// Timeline is an incremental playback clock for the tiled client: the same
+// buffer/stall model as abr.Simulate, but advanced one segment at a time so
+// the Player can consult the live buffer level between fetch decisions.
+// Playback starts after the first segment lands (fast start).
+type Timeline struct {
+	Link            netsim.Link
+	SegmentDuration float64
+
+	clock        float64 // downloader wall clock
+	playWall     float64 // wall time playback started (valid once started)
+	started      bool
+	contentReady float64 // seconds of content downloaded
+
+	Stalls       int
+	StallSec     float64
+	StartupDelay float64
+	Bytes        int64
+}
+
+// NewTimeline builds a timeline over the given link.
+func NewTimeline(link netsim.Link, segmentDuration float64) *Timeline {
+	return &Timeline{Link: link, SegmentDuration: segmentDuration}
+}
+
+// Buffer returns the seconds of downloaded content not yet played.
+func (t *Timeline) Buffer() float64 {
+	if !t.started {
+		return t.contentReady
+	}
+	played := t.clock - t.playWall
+	if played > t.contentReady {
+		played = t.contentReady
+	}
+	if played < 0 {
+		played = 0
+	}
+	return t.contentReady - played
+}
+
+// Advance accounts for one segment of the given wire size landing: the
+// clock moves by the modeled transfer time, one segment duration of
+// content becomes ready, and any stall shifts the playback reference.
+func (t *Timeline) Advance(bytes int64) {
+	t.Bytes += bytes
+	t.clock += t.Link.TransferSeconds(bytes)
+	t.contentReady += t.SegmentDuration
+
+	if !t.started {
+		t.started = true
+		t.playWall = t.clock
+		t.StartupDelay = t.clock
+		return
+	}
+	played := t.clock - t.playWall
+	avail := t.contentReady - t.SegmentDuration // before this segment landed
+	if played > avail {
+		d := played - avail
+		t.Stalls++
+		t.StallSec += d
+		t.playWall += d
+	}
+}

@@ -1,0 +1,76 @@
+package delivery
+
+import (
+	"math"
+	"testing"
+
+	"evr/internal/abr"
+	"evr/internal/netsim"
+)
+
+// TestTimelineMatchesSimulate pins the incremental timeline against
+// abr.Simulate with a fixed rung sequence: same stall count, stall time,
+// and startup delay.
+func TestTimelineMatchesSimulate(t *testing.T) {
+	link := netsim.Link{BandwidthBps: 8e6, RTTSeconds: 0.02}
+	const segDur = 1.0
+	topBytes := []int64{4e6, 4e6, 4e6, 4e6, 4e6, 4e6}
+
+	ladder := abr.Ladder{Ratios: []float64{1.0}}
+	ctrl, err := abr.NewBufferController(1, segDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := abr.Simulate(link, ladder, ctrl, topBytes, segDur, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tl := NewTimeline(link, segDur)
+	for _, b := range topBytes {
+		tl.Advance(b)
+	}
+	if tl.Stalls != ref.Stalls {
+		t.Errorf("stalls = %d, want %d", tl.Stalls, ref.Stalls)
+	}
+	if math.Abs(tl.StallSec-ref.StallTime) > 1e-9 {
+		t.Errorf("stall time = %v, want %v", tl.StallSec, ref.StallTime)
+	}
+	if math.Abs(tl.StartupDelay-ref.StartupDelay) > 1e-9 {
+		t.Errorf("startup = %v, want %v", tl.StartupDelay, ref.StartupDelay)
+	}
+	if tl.Bytes != ref.Bytes {
+		t.Errorf("bytes = %d, want %d", tl.Bytes, ref.Bytes)
+	}
+}
+
+func TestTimelineBuffer(t *testing.T) {
+	// A fat link accumulates buffer: each segment transfers in well under
+	// its duration, so the buffer grows toward one segment per advance.
+	link := netsim.Link{BandwidthBps: 800e6}
+	tl := NewTimeline(link, 1.0)
+	if tl.Buffer() != 0 {
+		t.Fatalf("initial buffer = %v", tl.Buffer())
+	}
+	for i := 0; i < 3; i++ {
+		tl.Advance(1e6)
+	}
+	if b := tl.Buffer(); b <= 1.5 {
+		t.Errorf("buffer after 3 fast segments = %v, want > 1.5", b)
+	}
+	if tl.Stalls != 0 {
+		t.Errorf("fast link stalled %d times", tl.Stalls)
+	}
+
+	// A starved link stalls: every transfer takes longer than playback.
+	slow := NewTimeline(netsim.Link{BandwidthBps: 1e6}, 1.0)
+	for i := 0; i < 3; i++ {
+		slow.Advance(1e6) // 8 seconds per 1-second segment
+	}
+	if slow.Stalls == 0 {
+		t.Error("starved link never stalled")
+	}
+	if slow.StallSec <= 0 {
+		t.Error("starved link has zero stall time")
+	}
+}

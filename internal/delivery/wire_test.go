@@ -1,0 +1,141 @@
+package delivery
+
+import (
+	"bytes"
+	"testing"
+
+	"evr/internal/codec"
+)
+
+func sampleTile(t *testing.T) *TilePayload {
+	t.Helper()
+	return &TilePayload{
+		Cols: 4, Rows: 2, Tile: 5, Rung: 1,
+		Bits: &codec.Bitstream{
+			W: 24, H: 16,
+			Frames: [][]byte{{1, 2, 3}, {}, {9}},
+			Types:  []codec.FrameType{codec.IFrame, codec.PFrame, codec.PFrame},
+		},
+	}
+}
+
+func TestTileRoundTrip(t *testing.T) {
+	p := sampleTile(t)
+	data, err := MarshalTile(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	q, err := UnmarshalTile(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if q.Cols != p.Cols || q.Rows != p.Rows || q.Tile != p.Tile || q.Rung != p.Rung {
+		t.Fatalf("header mismatch: %+v vs %+v", q, p)
+	}
+	if q.Bits.W != p.Bits.W || q.Bits.H != p.Bits.H || len(q.Bits.Frames) != len(p.Bits.Frames) {
+		t.Fatalf("bitstream mismatch")
+	}
+	for i := range p.Bits.Frames {
+		if !bytes.Equal(q.Bits.Frames[i], p.Bits.Frames[i]) || q.Bits.Types[i] != p.Bits.Types[i] {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	data2, err := MarshalTile(q)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("re-marshal not byte-identical")
+	}
+}
+
+func TestMarshalTileRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*TilePayload)
+	}{
+		{"nil bits", func(p *TilePayload) { p.Bits = nil }},
+		{"zero grid", func(p *TilePayload) { p.Cols = 0 }},
+		{"grid too big", func(p *TilePayload) { p.Cols = 256 }},
+		{"tile out of grid", func(p *TilePayload) { p.Tile = 8 }},
+		{"negative tile", func(p *TilePayload) { p.Tile = -1 }},
+		{"rung out of range", func(p *TilePayload) { p.Rung = 256 }},
+		{"oversize dims", func(p *TilePayload) { p.Bits.W = 1 << 16 }},
+		{"type count mismatch", func(p *TilePayload) { p.Bits.Types = p.Bits.Types[:1] }},
+		{"unknown frame type", func(p *TilePayload) { p.Bits.Types[0] = 'X' }},
+	}
+	for _, tc := range cases {
+		p := sampleTile(t)
+		tc.mod(p)
+		if _, err := MarshalTile(p); err == nil {
+			t.Errorf("%s: marshal accepted bad payload", tc.name)
+		}
+	}
+}
+
+func TestUnmarshalTileRejects(t *testing.T) {
+	good, err := MarshalTile(sampleTile(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("EV")},
+		{"bad magic", append([]byte("EVT9"), good[4:]...)},
+		{"truncated header", good[:8]},
+		{"truncated frame", good[:len(good)-1]},
+		{"trailing bytes", append(append([]byte{}, good...), 0)},
+	}
+	for _, tc := range cases {
+		if _, err := UnmarshalTile(tc.data); err == nil {
+			t.Errorf("%s: unmarshal accepted bad payload", tc.name)
+		}
+	}
+
+	// Tile index outside the claimed grid.
+	bad := append([]byte{}, good...)
+	bad[4], bad[5] = 1, 1 // 1×1 grid, tile 5 from the sample now out of range
+	if _, err := UnmarshalTile(bad); err == nil {
+		t.Error("out-of-grid tile accepted")
+	}
+	// Zero grid.
+	bad = append([]byte{}, good...)
+	bad[4], bad[5] = 0, 0
+	if _, err := UnmarshalTile(bad); err == nil {
+		t.Error("zero grid accepted")
+	}
+}
+
+// FuzzUnmarshalTile pins the wire format's canonical property: any payload
+// that parses must re-marshal to the identical bytes.
+func FuzzUnmarshalTile(f *testing.F) {
+	p := &TilePayload{
+		Cols: 2, Rows: 2, Tile: 3, Rung: 0,
+		Bits: &codec.Bitstream{W: 8, H: 8,
+			Frames: [][]byte{{0xAA}},
+			Types:  []codec.FrameType{codec.IFrame}},
+	}
+	seed, err := MarshalTile(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte("EVT1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := UnmarshalTile(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalTile(q)
+		if err != nil {
+			t.Fatalf("parsed payload failed to marshal: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip not byte-identical: %d in, %d out", len(data), len(out))
+		}
+	})
+}

@@ -75,6 +75,10 @@ func NewIMU(trace headtrace.Trace) *IMU { return &IMU{trace: trace} }
 // Frames returns the number of samples available.
 func (i *IMU) Frames() int { return len(i.trace.Samples) }
 
+// Trace exposes the underlying head trace — head-motion predictors need
+// the raw sample history, not just the instantaneous orientation.
+func (i *IMU) Trace() headtrace.Trace { return i.trace }
+
 // At returns the head orientation at frame index f, clamping past either
 // end of the trace.
 func (i *IMU) At(f int) geom.Orientation {

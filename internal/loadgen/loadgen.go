@@ -84,6 +84,15 @@ type Config struct {
 	// OnPassStart, when set, runs before each pass's sessions launch —
 	// the hook evrload's mid-run shard kill uses.
 	OnPassStart func(pass int)
+	// Delivery, when non-nil, runs every session in the viewport-adaptive
+	// tiled delivery mode with this config (the target must have been
+	// ingested with tile streams for it to engage).
+	Delivery *client.TiledConfig
+	// FrameSink, when set, receives each successful session's displayed
+	// frames — the hook evrload's frontier sweep uses to score viewport
+	// PSNR across delivery modes. Called concurrently from session
+	// goroutines; the sink must be safe for concurrent use.
+	FrameSink func(user, pass int, video string, frames []*frame.Frame)
 }
 
 // UserResult is one session's outcome.
@@ -133,6 +142,16 @@ type PassStats struct {
 	FramesPerSec float64
 	Server       *ServerDelta  // nil for remote targets
 	Cluster      *ClusterDelta // nil for non-cluster targets
+	// Tiled-delivery aggregates (all zero unless Config.Delivery engaged).
+	ModeFOVSegments   int
+	ModeTiledSegments int
+	ModeOrigSegments  int
+	TiledTiles        int
+	TiledTileErrors   int
+	MispredictedTiles int
+	ModeledStalls     int
+	ModeledStallSec   float64
+	ModeledBytes      int64
 	// P50/P99 are this pass's request-latency quantiles (histogram-delta
 	// estimates) — how a mid-run shard kill shows up as a tail-latency
 	// bump without corrupting frames.
@@ -361,6 +380,15 @@ func Run(cfg Config) (*Report, error) {
 			ps.BytesFetched += r.Stats.BytesFetched
 			ps.ClientHits += r.Stats.CacheHits
 			ps.Retries += r.Stats.Retries
+			ps.ModeFOVSegments += r.Stats.ModeFOVSegments
+			ps.ModeTiledSegments += r.Stats.ModeTiledSegments
+			ps.ModeOrigSegments += r.Stats.ModeOrigSegments
+			ps.TiledTiles += r.Stats.TiledTiles
+			ps.TiledTileErrors += r.Stats.TiledTileErrors
+			ps.MispredictedTiles += r.Stats.MispredictedTiles
+			ps.ModeledStalls += r.Stats.ModeledStalls
+			ps.ModeledStallSec += r.Stats.ModeledStallSec
+			ps.ModeledBytes += r.Stats.ModeledBytes
 		}
 		if ps.Frames > 0 {
 			ps.HitRate = float64(ps.Hits) / float64(ps.Frames)
@@ -414,8 +442,14 @@ func runSession(cfg Config, fetch client.FetchConfig, httpClient *http.Client, v
 	if p.Workers == 0 {
 		p.Workers = 1
 	}
+	if cfg.Delivery != nil {
+		p.Tiled = *cfg.Delivery
+	}
 	start := time.Now()
 	stats, frames, err := p.Play(video, hmd.NewIMU(trace), cfg.Segments)
+	if err == nil && cfg.FrameSink != nil {
+		cfg.FrameSink(user, pass, video, frames)
+	}
 	return UserResult{
 		User:     user,
 		Pass:     pass,

@@ -37,6 +37,12 @@ func (r *Report) WriteText(w io.Writer, perUser bool) {
 				ps.Server.CacheHits, ps.Server.CacheMisses, ps.Server.CacheCoalesced, ps.Server.Throttled)
 		}
 		fmt.Fprintln(w)
+		if n := ps.ModeFOVSegments + ps.ModeTiledSegments + ps.ModeOrigSegments; n > 0 {
+			fmt.Fprintf(w, "        delivery: %d fov / %d tiled / %d orig segments, %d tiles (%d lost), %d mispredicted, modeled %s, %d stalls (%.2fs)\n",
+				ps.ModeFOVSegments, ps.ModeTiledSegments, ps.ModeOrigSegments,
+				ps.TiledTiles, ps.TiledTileErrors, ps.MispredictedTiles,
+				byteSize(ps.ModeledBytes), ps.ModeledStalls, ps.ModeledStallSec)
+		}
 		fmt.Fprintf(w, "        latency p50 %v  p99 %v\n",
 			ps.P50.Round(time.Microsecond), ps.P99.Round(time.Microsecond))
 		if cd := ps.Cluster; cd != nil {

@@ -141,6 +141,8 @@ func (s *Service) Videos() []string {
 //	GET /v/{video}/orig/{seg}        → original segment bitstream
 //	GET /v/{video}/fov/{seg}/{c}     → FOV video bitstream
 //	GET /v/{video}/fovmeta/{seg}/{c} → JSON per-frame metadata
+//	GET /v/{video}/tile/{seg}/{t}/{q} → one tile bitstream at rung q
+//	GET /v/{video}/tilelow/{seg}     → low-res backfill bitstream
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.serveMetricsHTTP)
@@ -165,7 +167,42 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v/{video}/orig/{seg}", s.metrics.instrument("orig", s.segmentHandler("orig", respOrig)))
 	mux.HandleFunc("GET /v/{video}/fov/{seg}/{cluster}", s.metrics.instrument("fov", s.segmentHandler("fov", respFOV)))
 	mux.HandleFunc("GET /v/{video}/fovmeta/{seg}/{cluster}", s.metrics.instrument("fovmeta", s.segmentHandler("fovmeta", respFOVMeta)))
+	mux.HandleFunc("GET /v/{video}/tile/{seg}/{tile}/{rung}", s.metrics.instrument("tile", s.tileHandler))
+	mux.HandleFunc("GET /v/{video}/tilelow/{seg}", s.metrics.instrument("tilelow", s.segmentHandler("tilelow", respTileLow)))
 	return mux
+}
+
+// tileHandler serves one tile bitstream at one quality rung, through the
+// same admission control and response cache as the segment handlers. The
+// three path indices go through the canonical-form gate, so `007`-style
+// smuggled variants get 400 instead of aliasing a cached payload.
+func (s *Service) tileHandler(w http.ResponseWriter, r *http.Request) {
+	seg, ok := pathIndex(w, r, "seg")
+	if !ok {
+		return
+	}
+	tile, ok := pathIndex(w, r, "tile")
+	if !ok {
+		return
+	}
+	rung, ok := pathIndex(w, r, "rung")
+	if !ok {
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	key := respKey{video: r.PathValue("video"), seg: seg, tile: tile, rung: rung, kind: respTile}
+	data, ok := s.payload(key)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(data); err != nil {
+		s.metrics.noteWriteError("tile")
+	}
 }
 
 // segmentHandler serves one of the three segment payload shapes through
@@ -181,7 +218,7 @@ func (s *Service) segmentHandler(endpoint string, kind respKind) http.HandlerFun
 			return
 		}
 		cluster := 0
-		if kind != respOrig {
+		if kind == respFOV || kind == respFOVMeta {
 			if cluster, ok = pathIndex(w, r, "cluster"); !ok {
 				return
 			}
@@ -215,9 +252,14 @@ func (s *Service) payload(key respKey) ([]byte, bool) {
 			time.Sleep(s.opts.StoreDelay)
 		}
 		var sk string
-		if key.kind == respOrig {
+		switch key.kind {
+		case respOrig:
 			sk = origKey(key.video, key.seg)
-		} else {
+		case respTile:
+			sk = tileKey(key.video, key.seg, key.tile, key.rung)
+		case respTileLow:
+			sk = tileLowKey(key.video, key.seg)
+		default:
 			sk = fovKey(key.video, key.seg, key.cluster)
 		}
 		data, meta, ok := s.store.Get(sk)

@@ -19,6 +19,8 @@ import (
 	"sync/atomic"
 
 	"evr/internal/codec"
+	"evr/internal/delivery"
+	"evr/internal/display"
 	"evr/internal/frame"
 	"evr/internal/geom"
 	"evr/internal/projection"
@@ -27,6 +29,7 @@ import (
 	"evr/internal/sas"
 	"evr/internal/scene"
 	"evr/internal/store"
+	"evr/internal/tiling"
 	"evr/internal/vision"
 )
 
@@ -66,6 +69,21 @@ type IngestConfig struct {
 	// GOMAXPROCS. The manifest and every stored payload are byte-identical
 	// for all worker counts.
 	Workers int
+
+	// Tiled additionally ingests each segment as a tile grid: every tile
+	// encoded at TileRungs quality rungs plus one low-resolution backfill
+	// stream, served over the /tile and /tilelow endpoints for the
+	// viewport-adaptive delivery mode (internal/delivery).
+	Tiled bool
+	// TileCols×TileRows is the tile grid. Both zero selects the largest
+	// codec-compatible default for FullW×FullH (4×2 down to 1×1).
+	TileCols, TileRows int
+	// TileRungs is the per-tile quality-rung count; rung r encodes at
+	// quality base<<r (coarser as r grows). 0 = 3.
+	TileRungs int
+	// TileLowDiv is the linear downscale of the backfill stream. 0 picks
+	// the largest codec-compatible divisor of 4, 2, 1.
+	TileLowDiv int
 
 	// UseLUT pre-renders FOV videos through the exact-mode mapping-LUT
 	// cache. Cluster trajectories repeat orientations frame to frame (a
@@ -107,6 +125,36 @@ func DefaultIngestConfig() IngestConfig {
 	}
 }
 
+// withTiledDefaults resolves the adaptive tiled-ingest knobs against the
+// frame geometry: the preferred grid (and low-stream divisor) is the first
+// whose tiles are codec-codable at FullW×FullH. Explicit values pass
+// through untouched for Validate to judge.
+func (c IngestConfig) withTiledDefaults() IngestConfig {
+	if !c.Tiled {
+		return c
+	}
+	if c.TileCols == 0 && c.TileRows == 0 {
+		for _, g := range []tiling.Grid{{Cols: 4, Rows: 2}, {Cols: 2, Rows: 2}, {Cols: 2, Rows: 1}, {Cols: 1, Rows: 1}} {
+			if g.Validate(c.FullW, c.FullH) == nil {
+				c.TileCols, c.TileRows = g.Cols, g.Rows
+				break
+			}
+		}
+	}
+	if c.TileRungs == 0 {
+		c.TileRungs = 3
+	}
+	if c.TileLowDiv == 0 {
+		for _, d := range []int{4, 2, 1} {
+			if c.FullW%d == 0 && c.FullH%d == 0 && (c.FullW/d)%8 == 0 && (c.FullH/d)%8 == 0 {
+				c.TileLowDiv = d
+				break
+			}
+		}
+	}
+	return c
+}
+
 // Validate reports whether the configuration is usable.
 func (c IngestConfig) Validate() error {
 	if err := c.SAS.Validate(); err != nil {
@@ -129,6 +177,19 @@ func (c IngestConfig) Validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("server: Workers must be ≥ 0")
+	}
+	if c.Tiled {
+		g := tiling.Grid{Cols: c.TileCols, Rows: c.TileRows}
+		if err := g.Validate(c.FullW, c.FullH); err != nil {
+			return err
+		}
+		if c.TileRungs < 1 || c.TileRungs > 6 {
+			return fmt.Errorf("server: TileRungs %d outside [1,6]", c.TileRungs)
+		}
+		if c.TileLowDiv < 1 || c.FullW%c.TileLowDiv != 0 || c.FullH%c.TileLowDiv != 0 ||
+			(c.FullW/c.TileLowDiv)%8 != 0 || (c.FullH/c.TileLowDiv)%8 != 0 {
+			return fmt.Errorf("server: TileLowDiv %d incompatible with %dx%d", c.TileLowDiv, c.FullW, c.FullH)
+		}
 	}
 	return nil
 }
@@ -155,12 +216,31 @@ type ClusterInfo struct {
 	Meta  []FrameMeta `json:"meta"`
 }
 
+// TilingInfo describes the video's tile ingest: the grid, the rung count,
+// and the backfill downscale. Present in the manifest only for tiled
+// ingests.
+type TilingInfo struct {
+	Cols   int `json:"cols"`
+	Rows   int `json:"rows"`
+	Rungs  int `json:"rungs"`
+	LowDiv int `json:"lowDiv"`
+}
+
+// TileSegInfo carries the per-segment tile payload sizes the client's
+// rung picker budgets against: TileBytes[tile][rung] plus the backfill
+// stream size.
+type TileSegInfo struct {
+	LowBytes  int     `json:"lowBytes"`
+	TileBytes [][]int `json:"tileBytes"`
+}
+
 // SegmentInfo describes one ingested temporal segment.
 type SegmentInfo struct {
 	Index     int           `json:"index"`
 	Frames    int           `json:"frames"`
 	OrigBytes int           `json:"origBytes"`
 	Clusters  []ClusterInfo `json:"clusters"`
+	Tiles     *TileSegInfo  `json:"tiles,omitempty"`
 }
 
 // Manifest is the per-video ingest result the client fetches first.
@@ -175,6 +255,7 @@ type Manifest struct {
 	FOVYDeg       float64       `json:"fovYDeg"`
 	Projection    int           `json:"projection"`
 	SegmentFrames int           `json:"segmentFrames"`
+	Tiling        *TilingInfo   `json:"tiling,omitempty"`
 	Segments      []SegmentInfo `json:"segments"`
 	Report        IngestReport  `json:"report"`
 }
@@ -192,9 +273,14 @@ func origKey(video string, seg int) string { return fmt.Sprintf("%s/orig/%d", vi
 func fovKey(video string, seg, cluster int) string {
 	return fmt.Sprintf("%s/fov/%d/%d", video, seg, cluster)
 }
+func tileKey(video string, seg, tile, rung int) string {
+	return fmt.Sprintf("%s/tile/%d/%d/%d", video, seg, tile, rung)
+}
+func tileLowKey(video string, seg int) string { return fmt.Sprintf("%s/tilelow/%d", video, seg) }
 
 // Ingest runs the cloud pipeline for one video and fills the SAS store.
 func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, error) {
+	cfg = cfg.withTiledDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -205,6 +291,9 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 		FOVXDeg: cfg.FOVXDeg, FOVYDeg: cfg.FOVYDeg,
 		Projection:    int(cfg.Projection),
 		SegmentFrames: cfg.SAS.SegmentFrames,
+	}
+	if cfg.Tiled {
+		man.Tiling = &TilingInfo{Cols: cfg.TileCols, Rows: cfg.TileRows, Rungs: cfg.TileRungs, LowDiv: cfg.TileLowDiv}
 	}
 	total := v.Frames()
 	nSegs := (total + cfg.SAS.SegmentFrames - 1) / cfg.SAS.SegmentFrames
@@ -250,6 +339,15 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 		if err := st.Put(origKey(v.Name, si), origPayload, nil); err != nil {
 			return nil, err
 		}
+		// Tiled delivery: cut the segment into the tile grid, encode every
+		// tile at each quality rung, and store the low-res backfill stream.
+		var tileInfo *TileSegInfo
+		if cfg.Tiled {
+			tileInfo, err = ingestTiles(v, cfg, st, full, si)
+			if err != nil {
+				return nil, err
+			}
+		}
 
 		// Segment analysis: per-cluster trajectory orientations, either
 		// from the detection+tracking pipeline (§5.3, Fig. 7) or from
@@ -264,7 +362,7 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 		} else {
 			tracks = detectedClusterTracks(v, cfg, full, &man.Report)
 		}
-		segInfo := SegmentInfo{Index: si, Frames: frames, OrigBytes: len(origPayload)}
+		segInfo := SegmentInfo{Index: si, Frames: frames, OrigBytes: len(origPayload), Tiles: tileInfo}
 		// Pre-render and encode every cluster's FOV video concurrently;
 		// store writes and manifest appends happen afterwards in cluster
 		// order, so the output is deterministic for any worker count.
@@ -297,6 +395,97 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 		man.Segments = append(man.Segments, segInfo)
 	}
 	return man, nil
+}
+
+// rungQuality maps a quality rung to a codec quality: each rung doubles
+// the base quantization (coarser as r grows), clamped to the codec range.
+func rungQuality(base, rung int) int {
+	q := base << rung
+	if q > 64 {
+		q = 64
+	}
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// ingestTiles cuts one rendered segment into the tile grid, encodes every
+// tile at each quality rung, and stores the payloads plus the low-res
+// backfill stream. Encoding fans out across the worker pool; store commits
+// happen afterwards in (tile, rung) order so the result is deterministic
+// for any worker count.
+func ingestTiles(v scene.VideoSpec, cfg IngestConfig, st *store.Store, full []*frame.Frame, si int) (*TileSegInfo, error) {
+	g := tiling.Grid{Cols: cfg.TileCols, Rows: cfg.TileRows}
+	nTiles := g.Tiles()
+	// Cut each tile's frame sequence once; every rung re-encodes the same
+	// pixels at a different quality.
+	tileFrames := make([][]*frame.Frame, nTiles)
+	if err := parallelFor(nTiles, cfg.workerCount(), func(t int) error {
+		tf := make([]*frame.Frame, len(full))
+		for f, fr := range full {
+			tf[f] = g.Extract(fr, t)
+		}
+		tileFrames[t] = tf
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	payloads := make([][][]byte, nTiles)
+	for t := range payloads {
+		payloads[t] = make([][]byte, cfg.TileRungs)
+	}
+	err := parallelFor(nTiles*cfg.TileRungs, cfg.workerCount(), func(i int) error {
+		t, r := i/cfg.TileRungs, i%cfg.TileRungs
+		cc := cfg.Codec
+		cc.Quality = rungQuality(cfg.Codec.Quality, r)
+		bits, err := codec.EncodeSequence(cc, tileFrames[t])
+		if err != nil {
+			return fmt.Errorf("server: encoding tile %d rung %d of %s segment %d: %w", t, r, v.Name, si, err)
+		}
+		payload, err := delivery.MarshalTile(&delivery.TilePayload{Cols: g.Cols, Rows: g.Rows, Tile: t, Rung: r, Bits: bits})
+		if err != nil {
+			return err
+		}
+		payloads[t][r] = payload
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	info := &TileSegInfo{TileBytes: make([][]int, nTiles)}
+	for t := 0; t < nTiles; t++ {
+		info.TileBytes[t] = make([]int, cfg.TileRungs)
+		for r := 0; r < cfg.TileRungs; r++ {
+			if err := st.Put(tileKey(v.Name, si, t, r), payloads[t][r], nil); err != nil {
+				return nil, err
+			}
+			info.TileBytes[t][r] = len(payloads[t][r])
+		}
+	}
+	// Backfill stream: the whole panorama downscaled by TileLowDiv,
+	// encoded at the coarsest rung quality — its only job is to paper
+	// over mispredicted or lost tiles.
+	lowFrames := make([]*frame.Frame, len(full))
+	for f, fr := range full {
+		lf, err := display.Scale(fr, cfg.FullW/cfg.TileLowDiv, cfg.FullH/cfg.TileLowDiv)
+		if err != nil {
+			return nil, err
+		}
+		lowFrames[f] = lf
+	}
+	lc := cfg.Codec
+	lc.Quality = rungQuality(cfg.Codec.Quality, cfg.TileRungs-1)
+	lowBits, err := codec.EncodeSequence(lc, lowFrames)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding tile backfill of %s segment %d: %w", v.Name, si, err)
+	}
+	lowPayload := marshalBitstream(lowBits)
+	if err := st.Put(tileLowKey(v.Name, si), lowPayload, nil); err != nil {
+		return nil, err
+	}
+	info.LowBytes = len(lowPayload)
+	return info, nil
 }
 
 // detectedClusterTracks runs the full vision pipeline on a segment: detect

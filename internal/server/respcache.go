@@ -52,21 +52,26 @@ type RespCacheStats struct {
 	MaxBytes  int64 `json:"maxBytes"`  // configured budget
 }
 
-// respKind distinguishes the three payload shapes sharing the cache.
+// respKind distinguishes the payload shapes sharing the cache.
 type respKind uint8
 
 const (
 	respOrig respKind = iota
 	respFOV
 	respFOVMeta
+	respTile
+	respTileLow
 )
 
 // respKey identifies one cacheable response payload: (video, seg, cluster)
-// plus which of the segment's payloads it is. Originals use cluster 0.
+// plus which of the segment's payloads it is. Originals use cluster 0;
+// tile payloads use (tile, rung) with cluster 0.
 type respKey struct {
 	video   string
 	seg     int
 	cluster int
+	tile    int
+	rung    int
 	kind    respKind
 }
 

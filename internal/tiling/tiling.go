@@ -72,8 +72,17 @@ func (g Grid) Visible(vp projection.Viewport, o geom.Orientation, m projection.M
 	return out
 }
 
-// extract copies one tile out of a frame.
-func (g Grid) extract(f *frame.Frame, tile int) *frame.Frame {
+// Center returns the unit gaze direction at a tile's planar center — the
+// distance anchor per-tile quality selection orders demotions by.
+func (g Grid) Center(tile int, m projection.Method) geom.Vec3 {
+	tx, ty := tile%g.Cols, tile/g.Cols
+	u := (float64(tx) + 0.5) / float64(g.Cols)
+	v := (float64(ty) + 0.5) / float64(g.Rows)
+	return projection.ToSphere(m, u, v)
+}
+
+// Extract copies one tile out of a frame.
+func (g Grid) Extract(f *frame.Frame, tile int) *frame.Frame {
 	tw, th := f.W/g.Cols, f.H/g.Rows
 	tx, ty := tile%g.Cols, tile/g.Cols
 	out := frame.New(tw, th)
@@ -114,7 +123,7 @@ func Encode(cfg codec.Config, frames []*frame.Frame, g Grid, lowDiv int) (*Strea
 	for t := 0; t < g.Tiles(); t++ {
 		var tileFrames []*frame.Frame
 		for _, f := range frames {
-			tileFrames = append(tileFrames, g.extract(f, t))
+			tileFrames = append(tileFrames, g.Extract(f, t))
 		}
 		bs, err := codec.EncodeSequence(cfg, tileFrames)
 		if err != nil {

@@ -71,6 +71,59 @@ func TestVisibility(t *testing.T) {
 	}
 }
 
+// TestVisibilitySeamStraddle pins the ERP longitude-seam class that bit the
+// renderer in PR 1: a viewport looking straight backward straddles ±180°,
+// so tiles on BOTH vertical edges of the grid must be visible while the
+// front-center columns stay invisible in the equatorial rows.
+func TestVisibilitySeamStraddle(t *testing.T) {
+	g := Grid{Cols: 8, Rows: 4}
+	if err := g.Validate(128, 64); err != nil {
+		t.Fatal(err)
+	}
+	vp := projection.Viewport{Width: 32, Height: 32, FOVX: geom.Radians(90), FOVY: geom.Radians(90)}
+	vis := g.Visible(vp, geom.Orientation{Yaw: geom.Radians(180)}, projection.ERP)
+
+	// Equatorial rows (1 and 2) of the leftmost and rightmost columns
+	// cover yaw near -180° and +180° — the same gaze direction. Both
+	// sides of the seam must be marked.
+	for _, row := range []int{1, 2} {
+		left := row*g.Cols + 0
+		right := row*g.Cols + (g.Cols - 1)
+		if !vis[left] {
+			t.Errorf("row %d: left seam tile %d invisible: %v", row, left, vis)
+		}
+		if !vis[right] {
+			t.Errorf("row %d: right seam tile %d invisible: %v", row, right, vis)
+		}
+		// The forward-facing center columns are ~180° away from the
+		// gaze and far outside a 90° FOV.
+		for _, col := range []int{3, 4} {
+			if vis[row*g.Cols+col] {
+				t.Errorf("row %d: antipodal tile %d visible: %v", row, row*g.Cols+col, vis)
+			}
+		}
+	}
+}
+
+func TestTileCenter(t *testing.T) {
+	g := DefaultGrid()
+	// The tile centers of the middle columns flank the forward axis; both
+	// must land in the front hemisphere (+Z half-space) on ERP.
+	for _, tile := range []int{1, 2, 5, 6} {
+		c := g.Center(tile, projection.ERP)
+		if c.Z <= 0 {
+			t.Errorf("tile %d center %+v not in front hemisphere", tile, c)
+		}
+	}
+	// Edge-column centers point backward.
+	for _, tile := range []int{0, 3} {
+		c := g.Center(tile, projection.ERP)
+		if c.Z >= 0 {
+			t.Errorf("tile %d center %+v not in back hemisphere", tile, c)
+		}
+	}
+}
+
 func TestEncodeValidation(t *testing.T) {
 	frames := sceneFrames(t, 2)
 	cfg := codec.Config{GOP: 4, Quality: 6, SearchRange: 1}
@@ -153,8 +206,8 @@ func TestAssembleOutOfSightIsLowRes(t *testing.T) {
 	var visErr, hidErr float64
 	var visN, hidN int
 	for t0 := 0; t0 < g.Tiles(); t0++ {
-		a := g.extract(assembled[0], t0)
-		p := g.extract(frames[0], t0)
+		a := g.Extract(assembled[0], t0)
+		p := g.Extract(frames[0], t0)
 		mae := frame.MAE(a, p)
 		if vis[t0] {
 			visErr += mae
