@@ -37,6 +37,16 @@
 # per-segment policy picking FOV/tiled/orig, and -verify-single again
 # requiring routed playback byte-identical to a single server. The tile
 # wire format gets the same fuzz budget as the other decoders.
+#
+# The chaos smoke (PR 9) is the survival gate: the ci-smoke scenario runs
+# a live-ingested video plus a mixed-projection VOD fleet (lossy link,
+# heterogeneous PTE/cache/delivery profiles) through 2 shards while the
+# fault schedule kills and restarts a shard, slows the survivor, holds a
+# live publish, and re-ingests a video mid-run — under the race detector,
+# twice, with the gate requiring zero checksum divergence, freshness and
+# stall SLOs met, and both runs producing identical fault schedules and
+# per-user checksums. The scenario JSON codec gets the same fuzz budget
+# as the other decoders.
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -48,6 +58,7 @@ go test ./internal/server -run='^$' -fuzz=FuzzUnmarshalBitstream -fuzztime=5s
 go test ./internal/server -run='^$' -fuzz=FuzzManifestJSON -fuzztime=5s
 go test ./internal/headtrace -run='^$' -fuzz=FuzzHeadtraceCSV -fuzztime=5s
 go test ./internal/delivery -run='^$' -fuzz=FuzzUnmarshalTile -fuzztime=5s
+go test ./internal/chaos -run='^$' -fuzz=FuzzChaosScenario -fuzztime=5s
 go run ./cmd/evrconform -fast
 go run ./cmd/evrconform
 go run ./cmd/evrbench -lut -lut-width 256 -lut-frames 2 -users 2 -bench-out "${TMPDIR:-/tmp}/bench_lut_smoke.json"
@@ -57,3 +68,4 @@ go run ./cmd/evrload -shards 2 -zipf 1.1 -zipf-videos 2 -users 8 -passes 2 \
     -segments 1 -width 96 -viewport-scale 32 -kill-shard 0 -kill-pass 2 -verify-single
 go run ./cmd/evrload -shards 2 -users 6 -passes 1 -segments 2 -width 96 \
     -viewport-scale 32 -mode mixed -verify-single
+go run -race ./cmd/evrload -chaos ci-smoke -chaos-runs 2

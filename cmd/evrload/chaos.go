@@ -1,0 +1,281 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"evr/internal/chaos"
+	"evr/internal/client"
+	"evr/internal/cluster"
+	"evr/internal/loadgen"
+	"evr/internal/projection"
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+// chaosRun is one full scenario execution's comparable outcome: the fault
+// schedule as applied and every session's displayed-frame checksum. Two
+// same-seed runs must produce identical chaosRuns — the determinism gate
+// -chaos-runs ≥ 2 enforces.
+type chaosRun struct {
+	schedule  []string
+	checksums map[[2]int]uint64 // (user, pass) → checksum
+	report    *loadgen.Report
+	gate      chaos.GateResult
+}
+
+// chaosIngestPlan is one distinct video's ingest recipe under a scenario.
+type chaosIngestPlan struct {
+	spec scene.VideoSpec
+	cfg  server.IngestConfig
+	live bool
+}
+
+func projectionMethod(name string) projection.Method {
+	switch name {
+	case "cmp":
+		return projection.CMP
+	case "eac":
+		return projection.EAC
+	default:
+		return projection.ERP
+	}
+}
+
+// chaosPlans maps each distinct fleet video to its ingest recipe.
+func chaosPlans(sc *chaos.Scenario) (map[string]*chaosIngestPlan, error) {
+	plans := make(map[string]*chaosIngestPlan)
+	for _, c := range sc.Fleet {
+		if _, ok := plans[c.Video]; ok {
+			continue
+		}
+		spec, ok := scene.ByName(c.Video)
+		if !ok {
+			return nil, fmt.Errorf("unknown video %q", c.Video)
+		}
+		cfg := server.DefaultIngestConfig()
+		if sc.Width > 0 {
+			cfg.FullW = sc.Width - sc.Width%8
+			cfg.FullH = cfg.FullW / 2
+		}
+		cfg.MaxSegments = sc.Segments
+		cfg.Projection = projectionMethod(c.Projection)
+		plans[c.Video] = &chaosIngestPlan{spec: spec, cfg: cfg}
+	}
+	for video, plan := range plans {
+		for _, c := range sc.Fleet {
+			if c.Video == video && (c.Delivery == "tiled" || c.Delivery == "policy") {
+				plan.cfg.Tiled = true
+			}
+		}
+	}
+	if sc.Live != nil {
+		plan, ok := plans[sc.Live.Video]
+		if !ok {
+			return nil, fmt.Errorf("live video %q not played by any class", sc.Live.Video)
+		}
+		plan.live = true
+		plan.cfg.Live = &server.LiveOptions{
+			SegmentInterval: time.Duration(sc.Live.IntervalMs) * time.Millisecond,
+			QueueDepth:      sc.Live.QueueDepth,
+		}
+	}
+	return plans, nil
+}
+
+// runChaosOnce builds a fresh serving stack for the scenario, applies the
+// fault schedule through one engine, runs the fleet, and evaluates the
+// survival gates.
+func runChaosOnce(sc *chaos.Scenario, w io.Writer) (*chaosRun, error) {
+	plans, err := chaosPlans(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	opts := server.DefaultServiceOptions()
+	if sc.RespCacheMiB > 0 {
+		opts.RespCacheBytes = int64(sc.RespCacheMiB) << 20
+	}
+
+	engine := chaos.NewEngine(sc)
+	st := store.New()
+	var clu *cluster.Cluster
+	var svc *server.Service
+	var baseURL string
+	var shutdown func()
+	if sc.Shards >= 2 {
+		copts := cluster.Options{Shards: sc.Shards, Shard: opts}
+		if sc.EdgeCacheMiB > 0 {
+			copts.EdgeCacheBytes = int64(sc.EdgeCacheMiB) << 20
+		}
+		clu, err = cluster.New(st, copts)
+		if err != nil {
+			return nil, err
+		}
+		engine.Cluster = clu
+		baseURL, shutdown, err = loadgen.ServeHandler(clu.Handler())
+	} else {
+		svc = server.NewServiceOpts(st, opts)
+		engine.Service = svc
+		baseURL, shutdown, err = loadgen.Serve(svc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer shutdown()
+
+	// Batch-ingest every VOD video; the live video goes through the live
+	// pipeline below instead.
+	batchIngest := func(video string) error {
+		plan := plans[video]
+		if clu != nil {
+			_, err := clu.Ingest(plan.spec, plan.cfg)
+			return err
+		}
+		_, err := svc.IngestVideo(plan.spec, plan.cfg)
+		return err
+	}
+	for video, plan := range plans {
+		if plan.live {
+			continue
+		}
+		if err := batchIngest(video); err != nil {
+			return nil, fmt.Errorf("ingesting %s: %v", video, err)
+		}
+	}
+	engine.Reingest = func(video string) error {
+		if plan, ok := plans[video]; !ok || plan.live {
+			return fmt.Errorf("cannot reingest %q", video)
+		}
+		return batchIngest(video)
+	}
+
+	var ls *server.LiveStream
+	if sc.Live != nil {
+		plan := plans[sc.Live.Video]
+		ls, err = server.NewLiveStream(plan.spec, plan.cfg, st)
+		if err != nil {
+			return nil, fmt.Errorf("live stream: %v", err)
+		}
+		if clu != nil {
+			clu.ServeLive(ls)
+		} else {
+			svc.ServeLive(ls)
+		}
+		engine.Live = ls
+	}
+	engine.Prepare()
+
+	fetch := client.DefaultFetchConfig()
+	cfg := loadgen.Config{
+		BaseURL:       baseURL,
+		Passes:        sc.Passes,
+		Segments:      sc.Segments,
+		ViewportScale: sc.ViewportScale,
+		RenderWorkers: 1,
+		Fetch:         &fetch,
+		Classes:       sc.FleetSpecs(),
+		WrapTransport: engine.WrapTransport,
+		OnPassStart:   engine.OnPassStart,
+		Cluster:       clu,
+		Service:       svc,
+	}
+
+	if ls != nil {
+		if err := ls.Start(); err != nil {
+			return nil, err
+		}
+	}
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ls != nil {
+		<-ls.Done()
+		if err := ls.Wait(); err != nil {
+			return nil, fmt.Errorf("live stream: %v", err)
+		}
+	}
+
+	run := &chaosRun{
+		schedule:  engine.Schedule(),
+		checksums: make(map[[2]int]uint64),
+		report:    rep,
+		gate:      chaos.Evaluate(sc, rep),
+	}
+	for _, r := range rep.Results {
+		if r.Err == nil {
+			run.checksums[[2]int{r.User, r.Pass}] = r.Checksum
+		}
+	}
+	rep.WriteText(w, false)
+	for _, line := range run.schedule {
+		fmt.Fprintf(w, "chaos: %s\n", line)
+	}
+	return run, nil
+}
+
+// runChaos executes the scenario `runs` times (fresh stack each run) and
+// prints the survival verdict. Beyond the per-run SLO gates, multiple runs
+// must agree exactly — same fault schedule, same per-(user,pass)
+// checksums — or the harness itself is nondeterministic. Returns false
+// when any gate failed.
+func runChaos(sc *chaos.Scenario, runs int, w io.Writer) bool {
+	if runs < 1 {
+		runs = 1
+	}
+	var first *chaosRun
+	passed := true
+	for i := 1; i <= runs; i++ {
+		fmt.Fprintf(w, "=== chaos %s: run %d/%d (seed %d) ===\n", sc.Name, i, runs, sc.Seed)
+		run, err := runChaosOnce(sc, w)
+		if err != nil {
+			log.Printf("chaos run %d: %v", i, err)
+			return false
+		}
+		if !run.gate.Passed {
+			passed = false
+			for _, p := range run.gate.Problems {
+				fmt.Fprintf(w, "chaos: GATE FAILED: %s\n", p)
+			}
+		}
+		if first == nil {
+			first = run
+			continue
+		}
+		if diff := diffRuns(first, run); diff != "" {
+			passed = false
+			fmt.Fprintf(w, "chaos: DETERMINISM FAILED (run 1 vs %d): %s\n", i, diff)
+		}
+	}
+	if passed {
+		fmt.Fprintf(w, "chaos %s: SURVIVED — %d run(s), %d sessions each, schedules and checksums identical, SLOs met\n",
+			sc.Name, runs, len(first.report.Results))
+	}
+	return passed
+}
+
+// diffRuns compares two runs' fault schedules and checksum maps, returning
+// "" when identical.
+func diffRuns(a, b *chaosRun) string {
+	if len(a.schedule) != len(b.schedule) {
+		return fmt.Sprintf("schedule length %d vs %d", len(a.schedule), len(b.schedule))
+	}
+	for i := range a.schedule {
+		if a.schedule[i] != b.schedule[i] {
+			return fmt.Sprintf("schedule[%d]: %q vs %q", i, a.schedule[i], b.schedule[i])
+		}
+	}
+	if len(a.checksums) != len(b.checksums) {
+		return fmt.Sprintf("%d vs %d successful sessions", len(a.checksums), len(b.checksums))
+	}
+	for key, sum := range a.checksums {
+		if other, ok := b.checksums[key]; !ok || other != sum {
+			return fmt.Sprintf("user %d pass %d: checksum %#x vs %#x", key[0], key[1], sum, other)
+		}
+	}
+	return ""
+}

@@ -25,6 +25,15 @@
 //	        [-zipf 1.1 -zipf-videos 3]
 //	        [-kill-shard 0 -kill-pass 2]
 //	        [-verify-single]
+//
+// Chaos mode (-chaos <scenario>) ignores the flags above and instead runs
+// a named builtin or JSON scenario file: a heterogeneous fleet (optionally
+// with a live-ingested video) played against a deterministic seeded fault
+// schedule, judged by the scenario's survival gates. -chaos-runs 2 re-runs
+// the scenario on a fresh stack and additionally requires both runs to
+// produce identical fault schedules and per-user frame checksums:
+//
+//	evrload -chaos ci-smoke [-chaos-runs 2]
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"os"
 	"time"
 
+	"evr/internal/chaos"
 	"evr/internal/client"
 	"evr/internal/cluster"
 	"evr/internal/delivery"
@@ -70,7 +80,20 @@ func main() {
 	killShard := flag.Int("kill-shard", -1, "kill this shard at the start of -kill-pass (cluster mode)")
 	killPass := flag.Int("kill-pass", 2, "pass at whose start -kill-shard dies")
 	verifySingle := flag.Bool("verify-single", false, "replay the cluster run against a single server and require identical per-user frame checksums")
+	chaosName := flag.String("chaos", "", "run a chaos scenario (builtin name or JSON file) instead of the flag-driven load shape")
+	chaosRuns := flag.Int("chaos-runs", 1, "repeat the chaos scenario on a fresh stack this many times and require identical schedules and checksums")
 	flag.Parse()
+
+	if *chaosName != "" {
+		sc, err := chaos.Load(*chaosName)
+		if err != nil {
+			log.Fatalf("chaos: %v (builtins: %v)", err, chaos.BuiltinNames())
+		}
+		if !runChaos(sc, *chaosRuns, os.Stdout) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	v, ok := scene.ByName(*video)
 	if !ok {

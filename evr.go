@@ -26,9 +26,11 @@ package evr
 
 import (
 	"net/http"
+	"time"
 
 	"evr/internal/abr"
 	"evr/internal/capture"
+	"evr/internal/chaos"
 	"evr/internal/client"
 	"evr/internal/cluster"
 	"evr/internal/conformance"
@@ -349,6 +351,67 @@ func RunConformance(cases []ConformanceCase) (*ConformanceManifest, error) {
 // (identity passthrough, yaw equivariance, seam continuity, projection round
 // trips) and returns the violations (empty = all hold).
 func RunConformanceMetamorphic() []string { return conformance.RunMetamorphic() }
+
+// Live ingest and chaos-driven serving (see internal/server/live.go,
+// internal/chaos, and DESIGN.md §15): segments are produced on a clock
+// schedule while serving, ahead-of-edge requests get 425 + Retry-After,
+// and deterministic seeded fault schedules gate survival.
+type (
+	// LiveStream ingests a video on a publish schedule with bounded
+	// pipeline backpressure; hand it to Service.ServeLive or
+	// Cluster.ServeLive before Start.
+	LiveStream = server.LiveStream
+	// LiveOptions configures live ingest: segment interval, pipeline
+	// queue depth, and the clock (nil = wall clock).
+	LiveOptions = server.LiveOptions
+	// LiveClock is the schedule clock interface; VirtualClock implements
+	// it for deterministic tests and chaos runs.
+	LiveClock = server.Clock
+	// VirtualClock is a manually-advanced clock for deterministic live
+	// schedules.
+	VirtualClock = server.VirtualClock
+	// ChaosScenario is a declarative fault-injection scenario: fleet
+	// classes, live spec, seeded fault schedule, and survival SLOs.
+	ChaosScenario = chaos.Scenario
+	// ChaosEngine applies a scenario's faults to a load run and keeps
+	// the executed schedule for the determinism gate.
+	ChaosEngine = chaos.Engine
+	// ChaosGateResult is the survival verdict of one chaos run.
+	ChaosGateResult = chaos.GateResult
+	// ClassSpec describes one heterogeneous fleet class (projection,
+	// delivery mode, PTE bitwidths, cache size, link model).
+	ClassSpec = loadgen.ClassSpec
+	// ClassStats is one class's aggregate report: hit rates, stalls,
+	// energy, and time-behind-live freshness percentiles.
+	ClassStats = loadgen.ClassStats
+)
+
+// PublishedAtHeader carries a live segment's immutable publish timestamp
+// (UnixNano) on every serve.
+const PublishedAtHeader = server.PublishedAtHeader
+
+// NewLiveStream builds a live ingest pipeline for one video over a store;
+// cfg.Live must be set.
+func NewLiveStream(v VideoSpec, cfg IngestConfig, st *Store) (*LiveStream, error) {
+	return server.NewLiveStream(v, cfg, st)
+}
+
+// NewVirtualClock returns a virtual clock starting at origin.
+func NewVirtualClock(origin time.Time) *VirtualClock { return server.NewVirtualClock(origin) }
+
+// LoadChaosScenario resolves a builtin scenario name or a JSON file path.
+func LoadChaosScenario(nameOrPath string) (*ChaosScenario, error) { return chaos.Load(nameOrPath) }
+
+// ChaosBuiltinNames lists the compiled-in chaos scenarios.
+func ChaosBuiltinNames() []string { return chaos.BuiltinNames() }
+
+// NewChaosEngine builds the fault engine for one validated scenario.
+func NewChaosEngine(sc *ChaosScenario) *ChaosEngine { return chaos.NewEngine(sc) }
+
+// EvaluateChaos gates a finished load run against the scenario's SLOs.
+func EvaluateChaos(sc *ChaosScenario, rep *LoadReport) ChaosGateResult {
+	return chaos.Evaluate(sc, rep)
+}
 
 // ExperimentTable is one regenerated paper table/figure.
 type ExperimentTable = experiments.Table

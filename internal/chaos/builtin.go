@@ -1,0 +1,54 @@
+package chaos
+
+import "sort"
+
+// builtins are the named scenarios shipped with the harness. ci-smoke is
+// the CI survival gate: small enough to run under -race in seconds, wide
+// enough to cross live ingest, a mixed fleet, a mid-run shard kill and
+// restart, a slow shard, a re-ingest, and a lossy link.
+var builtins = map[string]func() *Scenario{
+	"ci-smoke": func() *Scenario {
+		return &Scenario{
+			Name:          "ci-smoke",
+			Seed:          42,
+			Passes:        3,
+			Segments:      2,
+			Width:         96,
+			ViewportScale: 32,
+			Shards:        2,
+			Live:          &LiveSpec{Video: "RS", IntervalMs: 120, QueueDepth: 2},
+			Fleet: []Class{
+				{Name: "live-erp", Users: 3, Video: "RS", Projection: "erp", HAR: true, Link: "wifi300"},
+				{Name: "vod-cmp-lossy", Users: 2, Video: "Paris", Projection: "cmp", HAR: true, Link: "lossy", Loss: 0.05, CacheSegments: 2},
+				{Name: "vod-eac-lite", Users: 2, Video: "NYC", Projection: "eac", HAR: true, PTETotalBits: 20, PTEIntBits: 8},
+			},
+			Faults: []Fault{
+				{Type: FaultKillShard, Pass: 2, Shard: 0},
+				{Type: FaultSlowShard, Pass: 2, Shard: 1, DelayMs: 2},
+				{Type: FaultRestartShard, Pass: 3, Shard: 0},
+				{Type: FaultReingest, Pass: 3, Video: "Paris"},
+				{Type: FaultDropPublish, Seg: 1, Intervals: 1},
+			},
+			SLO: SLO{MaxFailures: 0, FreshnessP99Ms: 5000},
+		}
+	},
+}
+
+// Builtin returns a fresh copy of a named builtin scenario.
+func Builtin(name string) (*Scenario, bool) {
+	mk, ok := builtins[name]
+	if !ok {
+		return nil, false
+	}
+	return mk(), true
+}
+
+// BuiltinNames lists the builtin scenarios, sorted.
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtins))
+	for name := range builtins {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzChaosScenario fuzzes the scenario document path the -chaos CLI
+// trusts: any JSON that decodes into a Scenario and validates must
+// re-encode, and the re-encoded form must be a fixpoint (decode → encode →
+// decode → encode is byte-identical) — a scenario file has one canonical
+// encoding, so saving and re-running a scenario can never drift. Nothing
+// in the pipeline may panic regardless of input.
+func FuzzChaosScenario(f *testing.F) {
+	for _, name := range BuiltinNames() {
+		sc, _ := Builtin(name)
+		seed, err := json.Marshal(sc)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","passes":1,"fleet":[{"name":"a","users":1,"video":"RS"}],"slo":{"maxFailures":0}}`))
+	f.Add([]byte(`{"name":"x","passes":-1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"faults":[{"type":"kill-shard","shard":999}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sc Scenario
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			return // invalid scenarios just need to not panic
+		}
+		enc, err := json.Marshal(&sc)
+		if err != nil {
+			t.Fatalf("valid scenario failed to encode: %v", err)
+		}
+		var sc2 Scenario
+		if err := json.Unmarshal(enc, &sc2); err != nil {
+			t.Fatalf("canonical encoding does not decode: %v", err)
+		}
+		if err := sc2.Validate(); err != nil {
+			t.Fatalf("canonical encoding does not validate: %v", err)
+		}
+		enc2, err := json.Marshal(&sc2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixpoint:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

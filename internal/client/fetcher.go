@@ -55,6 +55,16 @@ type FetchConfig struct {
 	// visible too. Cache hits observe nothing: no work was done. nil
 	// disables stage timing at a cost of a few nanoseconds per load.
 	Trace *telemetry.Tracer
+	// LiveWaitMax bounds the total time one request spends waiting out
+	// 425 "ahead of the live edge" responses. Live waits are expected
+	// pacing, not failures, so they never consume MaxRetries — this is
+	// their only bound. 0 = 30 s.
+	LiveWaitMax time.Duration
+	// BehindLive, when non-nil, receives a time-behind-live observation
+	// (seconds between publish and receipt) for every at-edge live
+	// segment fetched over the wire — the client half of the freshness
+	// SLO. The load harness supplies a per-class histogram here.
+	BehindLive *telemetry.Histogram
 }
 
 // DefaultFetchConfig returns the production defaults: 10 s per-attempt
@@ -94,6 +104,16 @@ type FetchCounters struct {
 	BytesFetched int64
 	// Evictions counts segments dropped from the LRU cache.
 	Evictions int64
+	// LiveWaits counts 425 "ahead of the live edge" responses waited out
+	// (outside the MaxRetries budget).
+	LiveWaits int64
+	// LiveSegments counts at-edge live segments fetched over the wire
+	// (the freshness observations).
+	LiveSegments int64
+	// BehindLiveNsSum and BehindLiveNsMax aggregate the observed
+	// time-behind-live in nanoseconds across those segments.
+	BehindLiveNsSum int64
+	BehindLiveNsMax int64
 }
 
 // Fetcher is the client's network layer: a retrying, timeout-bearing HTTP
@@ -121,6 +141,12 @@ type Fetcher struct {
 	flights map[segmentKey]*flightCall
 	wg      sync.WaitGroup // outstanding prefetch goroutines
 
+	// liveEdge records, per video, the live edge at session join: only
+	// segments at or past it are "at edge" for freshness accounting —
+	// the DVR backlog a late joiner replays is stale by definition.
+	liveMu   sync.Mutex
+	liveEdge map[string]int
+
 	cacheHits       atomic.Int64
 	prefetchHits    atomic.Int64
 	prefetchIssued  atomic.Int64
@@ -128,6 +154,10 @@ type Fetcher struct {
 	retryAfterWaits atomic.Int64
 	timedOut        atomic.Int64
 	bytesFetched    atomic.Int64
+	liveWaits       atomic.Int64
+	liveSegments    atomic.Int64
+	behindSumNs     atomic.Int64
+	behindMaxNs     atomic.Int64
 }
 
 // flightCall is one in-flight segment download+decode that concurrent
@@ -149,14 +179,24 @@ func NewFetcher(cfg FetchConfig, httpClient *http.Client) *Fetcher {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Fetcher{
-		cfg:     cfg,
-		http:    httpClient,
-		cache:   newSegmentCache(cfg.CacheSegments),
-		ctx:     ctx,
-		cancel:  cancel,
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
-		flights: make(map[segmentKey]*flightCall),
+		cfg:      cfg,
+		http:     httpClient,
+		cache:    newSegmentCache(cfg.CacheSegments),
+		ctx:      ctx,
+		cancel:   cancel,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		flights:  make(map[segmentKey]*flightCall),
+		liveEdge: make(map[string]int),
 	}
+}
+
+// SetLiveEdge records the live edge of a video at session join. The player
+// calls this after fetching a live manifest; segments at or past the edge
+// then feed the time-behind-live accounting.
+func (f *Fetcher) SetLiveEdge(video string, edge int) {
+	f.liveMu.Lock()
+	f.liveEdge[video] = edge
+	f.liveMu.Unlock()
 }
 
 // Close shuts the fetcher down: in-flight attempts are canceled, pending
@@ -178,6 +218,10 @@ func (f *Fetcher) Counters() FetchCounters {
 		TimedOut:        f.timedOut.Load(),
 		BytesFetched:    f.bytesFetched.Load(),
 		Evictions:       f.cache.evicted(),
+		LiveWaits:       f.liveWaits.Load(),
+		LiveSegments:    f.liveSegments.Load(),
+		BehindLiveNsSum: f.behindSumNs.Load(),
+		BehindLiveNsMax: f.behindMaxNs.Load(),
 	}
 }
 
@@ -316,7 +360,7 @@ func (f *Fetcher) segment(key segmentKey, prefetch bool, load func() (segmentEnt
 
 // loadFOV downloads and decodes one FOV video plus its metadata.
 func (f *Fetcher) loadFOV(baseURL, video string, seg, cluster int) (segmentEntry, error) {
-	payload, err := f.get(fmt.Sprintf("%s/v/%s/fov/%d/%d", baseURL, video, seg, cluster))
+	payload, err := f.getLive(fmt.Sprintf("%s/v/%s/fov/%d/%d", baseURL, video, seg, cluster), video, seg)
 	if err != nil {
 		return segmentEntry{}, err
 	}
@@ -324,7 +368,7 @@ func (f *Fetcher) loadFOV(baseURL, video string, seg, cluster int) (segmentEntry
 	if err != nil {
 		return segmentEntry{}, err
 	}
-	metaRaw, err := f.get(fmt.Sprintf("%s/v/%s/fovmeta/%d/%d", baseURL, video, seg, cluster))
+	metaRaw, err := f.getLive(fmt.Sprintf("%s/v/%s/fovmeta/%d/%d", baseURL, video, seg, cluster), video, seg)
 	if err != nil {
 		return segmentEntry{}, err
 	}
@@ -340,7 +384,7 @@ func (f *Fetcher) loadFOV(baseURL, video string, seg, cluster int) (segmentEntry
 
 // loadOrig downloads and decodes one original segment.
 func (f *Fetcher) loadOrig(baseURL, video string, seg int) (segmentEntry, error) {
-	payload, err := f.get(fmt.Sprintf("%s/v/%s/orig/%d", baseURL, video, seg))
+	payload, err := f.getLive(fmt.Sprintf("%s/v/%s/orig/%d", baseURL, video, seg), video, seg)
 	if err != nil {
 		return segmentEntry{}, err
 	}
@@ -351,7 +395,7 @@ func (f *Fetcher) loadOrig(baseURL, video string, seg int) (segmentEntry, error)
 // header names the tile that was asked for — a confused (or hostile)
 // origin must not paint the wrong rectangle.
 func (f *Fetcher) loadTile(baseURL, video string, seg, tile, rung int) (segmentEntry, error) {
-	payload, err := f.get(fmt.Sprintf("%s/v/%s/tile/%d/%d/%d", baseURL, video, seg, tile, rung))
+	payload, err := f.getLive(fmt.Sprintf("%s/v/%s/tile/%d/%d/%d", baseURL, video, seg, tile, rung), video, seg)
 	if err != nil {
 		return segmentEntry{}, err
 	}
@@ -373,7 +417,7 @@ func (f *Fetcher) loadTile(baseURL, video string, seg, tile, rung int) (segmentE
 
 // loadTileLow downloads and decodes one backfill stream.
 func (f *Fetcher) loadTileLow(baseURL, video string, seg int) (segmentEntry, error) {
-	payload, err := f.get(fmt.Sprintf("%s/v/%s/tilelow/%d", baseURL, video, seg))
+	payload, err := f.getLive(fmt.Sprintf("%s/v/%s/tilelow/%d", baseURL, video, seg), video, seg)
 	if err != nil {
 		return segmentEntry{}, err
 	}
@@ -405,15 +449,60 @@ func (f *Fetcher) decodePayloadEntry(payload []byte) (segmentEntry, error) {
 // size cap. The whole call — retries and backoff included — is observed as
 // the fetch stage: it is the transfer wait the pipeline actually sees.
 func (f *Fetcher) get(url string) ([]byte, error) {
+	return f.getLive(url, "", -1)
+}
+
+// getLive is get with live-edge awareness: a 425 "Too Early" response —
+// the request is ahead of the live edge — parks the request until the
+// segment is due rather than burning retry budget. The wait honors the
+// server's Retry-After hint when present (a live origin knows exactly when
+// the segment publishes) and is bounded by LiveWaitMax in total, so a
+// stalled producer surfaces as a fetch error instead of a hung player.
+// video/seg identify the segment for freshness accounting; video == ""
+// (or seg < 0) disables both the live wait cap bookkeeping and the
+// behind-live observation.
+func (f *Fetcher) getLive(url, video string, seg int) ([]byte, error) {
 	tm := f.cfg.Trace.StartTimer(telemetry.StageFetch)
 	defer tm.Stop()
 	var lastErr error
-	for attempt := 0; ; attempt++ {
-		body, err, transient, retryAfter := f.attempt(url)
+	var liveDeadline time.Time
+	for attempt := 0; ; {
+		body, header, err, transient, tooEarly, retryAfter := f.attempt(url)
 		if err == nil {
+			f.observeLive(video, seg, header)
 			return body, nil
 		}
 		lastErr = err
+		if tooEarly {
+			// Ahead of the live edge. Waiting out the publish schedule is
+			// expected behavior, not origin trouble: it never consumes the
+			// retry budget, but the total wait per request is capped.
+			waitMax := f.cfg.LiveWaitMax
+			if waitMax <= 0 {
+				waitMax = 30 * time.Second
+			}
+			now := time.Now()
+			if liveDeadline.IsZero() {
+				liveDeadline = now.Add(waitMax)
+			} else if now.After(liveDeadline) {
+				return nil, fmt.Errorf("%w (gave up waiting for live edge after %v)", lastErr, waitMax)
+			}
+			f.liveWaits.Add(1)
+			d := retryAfter
+			if d <= 0 {
+				d = f.cfg.BackoffBase
+			}
+			if d < 20*time.Millisecond {
+				d = 20 * time.Millisecond
+			}
+			if rest := time.Until(liveDeadline); d > rest {
+				d = rest
+			}
+			if err := f.sleep(d); err != nil {
+				return nil, fmt.Errorf("%w (live wait aborted: %v)", lastErr, err)
+			}
+			continue
+		}
 		if !transient || attempt >= f.cfg.MaxRetries {
 			return nil, lastErr
 		}
@@ -423,13 +512,56 @@ func (f *Fetcher) get(url string) ([]byte, error) {
 			// retry, annotated with why the retry never ran.
 			return nil, fmt.Errorf("%w (retry aborted: %v)", lastErr, err)
 		}
+		attempt++
+	}
+}
+
+// observeLive records how far behind the live edge a fetched segment was
+// delivered, using the publish timestamp the server stamps on live
+// responses. Only segments at or past the live edge observed when the
+// player joined count — the DVR backlog a late joiner replays is not a
+// freshness violation.
+func (f *Fetcher) observeLive(video string, seg int, header http.Header) {
+	if video == "" || seg < 0 || header == nil {
+		return
+	}
+	v := header.Get(server.PublishedAtHeader)
+	if v == "" {
+		return
+	}
+	f.liveMu.Lock()
+	edge, ok := f.liveEdge[video]
+	f.liveMu.Unlock()
+	if !ok || seg < edge {
+		return
+	}
+	publishedNs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return
+	}
+	behind := time.Now().UnixNano() - publishedNs
+	if behind < 0 {
+		behind = 0
+	}
+	f.liveSegments.Add(1)
+	f.behindSumNs.Add(behind)
+	for {
+		cur := f.behindMaxNs.Load()
+		if behind <= cur || f.behindMaxNs.CompareAndSwap(cur, behind) {
+			break
+		}
+	}
+	if f.cfg.BehindLive != nil {
+		f.cfg.BehindLive.Observe(float64(behind) / 1e9)
 	}
 }
 
 // attempt is one HTTP round trip. transient reports whether the failure is
-// worth retrying; retryAfter carries the server's Retry-After hint on a
-// shed (503/429) response, 0 when absent.
-func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool, retryAfter time.Duration) {
+// worth retrying; tooEarly marks a 425 (ahead of the live edge) response;
+// retryAfter carries the server's Retry-After hint on a shed (503/429) or
+// too-early (425) response, 0 when absent. header is non-nil only on
+// success.
+func (f *Fetcher) attempt(url string) (body []byte, header http.Header, err error, transient, tooEarly bool, retryAfter time.Duration) {
 	ctx := f.ctx
 	if f.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -438,31 +570,33 @@ func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool, r
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, fmt.Errorf("client: GET %s: %w", url, err), false, 0
+		return nil, nil, fmt.Errorf("client: GET %s: %w", url, err), false, false, 0
 	}
 	resp, err := f.http.Do(req)
 	if err != nil {
 		if isTimeout(err) {
 			f.timedOut.Add(1)
 		}
-		return nil, fmt.Errorf("client: GET %s: %w", url, err), true, 0
+		return nil, nil, fmt.Errorf("client: GET %s: %w", url, err), true, false, 0
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		// Drain a little so the connection can be reused, then classify:
-		// 5xx and 429 are origin trouble worth retrying, other statuses
-		// (404, 400, ...) are permanent. A shedding origin's Retry-After
-		// hint rides along so the backoff can honor it.
+		// 5xx and 429 are origin trouble worth retrying, 425 means the
+		// request is ahead of the live edge, other statuses (404, 400, ...)
+		// are permanent. A shedding origin's Retry-After hint rides along so
+		// the backoff (or live wait) can honor it.
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
 		transient = resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
-		if transient {
+		tooEarly = resp.StatusCode == http.StatusTooEarly
+		if transient || tooEarly {
 			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		}
-		return nil, fmt.Errorf("client: GET %s: %s", url, resp.Status), transient, retryAfter
+		return nil, nil, fmt.Errorf("client: GET %s: %s", url, resp.Status), transient, tooEarly, retryAfter
 	}
 	limit := f.cfg.MaxResponseBytes
 	if limit > 0 && resp.ContentLength > limit {
-		return nil, fmt.Errorf("client: GET %s: advertised %d bytes exceeds %d-byte cap", url, resp.ContentLength, limit), false, 0
+		return nil, nil, fmt.Errorf("client: GET %s: advertised %d bytes exceeds %d-byte cap", url, resp.ContentLength, limit), false, false, 0
 	}
 	var r io.Reader = resp.Body
 	if limit > 0 {
@@ -473,13 +607,13 @@ func (f *Fetcher) attempt(url string) (body []byte, err error, transient bool, r
 		if isTimeout(err) {
 			f.timedOut.Add(1)
 		}
-		return nil, fmt.Errorf("client: GET %s: reading body: %w", url, err), true, 0
+		return nil, nil, fmt.Errorf("client: GET %s: reading body: %w", url, err), true, false, 0
 	}
 	if limit > 0 && int64(len(body)) > limit {
-		return nil, fmt.Errorf("client: GET %s: response exceeds %d-byte cap", url, limit), false, 0
+		return nil, nil, fmt.Errorf("client: GET %s: response exceeds %d-byte cap", url, limit), false, false, 0
 	}
 	f.bytesFetched.Add(int64(len(body)))
-	return body, nil, false, 0
+	return body, resp.Header, nil, false, false, 0
 }
 
 // parseRetryAfter interprets a Retry-After header value: delay-seconds or
@@ -538,6 +672,11 @@ func (f *Fetcher) backoff(attempt int, retryAfter time.Duration) error {
 		f.rngMu.Unlock()
 		d += jitter
 	}
+	return f.sleep(d)
+}
+
+// sleep waits out d, aborting immediately when the fetcher shuts down.
+func (f *Fetcher) sleep(d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

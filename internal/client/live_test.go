@@ -1,0 +1,205 @@
+package client
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/scene"
+	"evr/internal/server"
+	"evr/internal/store"
+)
+
+// TestFetcherWaitsOutLiveEdge pins the 425 path: Too Early responses are
+// waits, not retries — they never consume the retry budget — and the
+// eventual 200's publish timestamp feeds the behind-live counters.
+func TestFetcherWaitsOutLiveEdge(t *testing.T) {
+	var calls atomic.Int64
+	publishedNs := time.Now().Add(-80 * time.Millisecond).UnixNano()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "not yet", http.StatusTooEarly)
+			return
+		}
+		w.Header().Set(server.PublishedAtHeader, strconv.FormatInt(publishedNs, 10))
+		fmt.Fprint(w, "payload")
+	}))
+	defer ts.Close()
+
+	cfg := fastFetchConfig()
+	cfg.MaxRetries = 0 // waits must succeed even with zero retry budget
+	f := NewFetcher(cfg, nil)
+	f.SetLiveEdge("RS", 0)
+	body, err := f.getLive(ts.URL, "RS", 0)
+	if err != nil {
+		t.Fatalf("getLive across the live edge: %v", err)
+	}
+	if string(body) != "payload" {
+		t.Fatalf("body = %q", body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("origin saw %d attempts, want 3", got)
+	}
+	c := f.Counters()
+	if c.LiveWaits != 2 {
+		t.Errorf("LiveWaits = %d, want 2", c.LiveWaits)
+	}
+	if c.Retries != 0 {
+		t.Errorf("Retries = %d — 425 waits must not consume the retry budget", c.Retries)
+	}
+	if c.LiveSegments != 1 {
+		t.Errorf("LiveSegments = %d, want 1", c.LiveSegments)
+	}
+	if c.BehindLiveNsMax < int64(60*time.Millisecond) {
+		t.Errorf("BehindLiveNsMax = %dns, want ≥ the ~80ms publish age", c.BehindLiveNsMax)
+	}
+}
+
+// TestFetcherLiveWaitDeadline: a segment that never publishes errors out
+// after LiveWaitMax instead of spinning forever.
+func TestFetcherLiveWaitDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "never", http.StatusTooEarly)
+	}))
+	defer ts.Close()
+
+	cfg := fastFetchConfig()
+	cfg.LiveWaitMax = 60 * time.Millisecond
+	f := NewFetcher(cfg, nil)
+	start := time.Now()
+	_, err := f.getLive(ts.URL, "RS", 0)
+	if err == nil {
+		t.Fatal("never-published segment succeeded")
+	}
+	if !strings.Contains(err.Error(), "live edge") {
+		t.Errorf("error %q does not mention the live edge", err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Errorf("gave up after %v — LiveWaitMax not honored", waited)
+	}
+}
+
+// TestFetcherLiveObservationSkipsBacklog: DVR backlog (segments below the
+// edge at join) is not "behind live" — only edge-adjacent fetches count.
+func TestFetcherLiveObservationSkipsBacklog(t *testing.T) {
+	publishedNs := time.Now().Add(-time.Hour).UnixNano()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(server.PublishedAtHeader, strconv.FormatInt(publishedNs, 10))
+		fmt.Fprint(w, "payload")
+	}))
+	defer ts.Close()
+
+	f := NewFetcher(fastFetchConfig(), nil)
+	f.SetLiveEdge("RS", 2)
+	if _, err := f.getLive(ts.URL, "RS", 0); err != nil {
+		t.Fatal(err)
+	}
+	if c := f.Counters(); c.LiveSegments != 0 {
+		t.Errorf("backlog fetch counted as live (LiveSegments = %d)", c.LiveSegments)
+	}
+	if _, err := f.getLive(ts.URL, "RS", 2); err != nil {
+		t.Fatal(err)
+	}
+	if c := f.Counters(); c.LiveSegments != 1 {
+		t.Errorf("edge fetch not counted (LiveSegments = %d)", c.LiveSegments)
+	}
+}
+
+// TestPlayerJoinsMidLiveStream is the end-to-end live gate: a player
+// joining a wall-clock live stream mid-broadcast plays the DVR backlog,
+// waits out the live edge (425s, never reading ahead), and displays
+// exactly the frames a VOD playback of the same content shows.
+func TestPlayerJoinsMidLiveStream(t *testing.T) {
+	v, ok := scene.ByName("RS")
+	if !ok {
+		t.Fatal("RS missing from catalog")
+	}
+	cfg := server.DefaultIngestConfig()
+	cfg.FullW, cfg.FullH = 96, 48
+	cfg.FOVW, cfg.FOVH = 32, 32
+	cfg.MaxSegments = 2
+	cfg.Codec.SearchRange = 1
+	liveCfg := cfg
+	liveCfg.Live = &server.LiveOptions{SegmentInterval: 300 * time.Millisecond}
+
+	st := store.New()
+	ls, err := server.NewLiveStream(v, liveCfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := server.NewService(st)
+	svc.ServeLive(ls)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	if err := ls.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Join mid-broadcast: wait for the first publish so there is a DVR
+	// backlog, while the rest of the stream is still ahead of the edge.
+	deadline := time.Now().Add(5 * time.Second)
+	for ls.Edge() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("live stream never published its first segment")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	p := NewPlayer(ts.URL)
+	p.Workers = 1
+	imu := hmd.NewIMU(headtrace.Generate(v, 3))
+	stats, frames, err := p.Play("RS", imu, 0)
+	if err != nil {
+		t.Fatalf("live playback: %v", err)
+	}
+	if err := ls.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.LiveWaits == 0 {
+		t.Error("player never waited at the live edge — joined after the stream ended?")
+	}
+	if stats.LiveSegments == 0 {
+		t.Error("no live-edge segments observed")
+	}
+	if stats.BehindLiveMaxSec <= 0 {
+		t.Error("behind-live freshness never measured")
+	}
+	if svc.TooEarly() == 0 {
+		t.Error("server rejected no ahead-of-edge requests — client read ahead of live")
+	}
+
+	// VOD reference: batch ingest of the same spec in live mode (orig-only)
+	// must display pixel-identical frames.
+	refStore := store.New()
+	refCfg := cfg
+	refCfg.LiveMode = true
+	refSvc := server.NewService(refStore)
+	if _, err := refSvc.IngestVideo(v, refCfg); err != nil {
+		t.Fatal(err)
+	}
+	refTS := httptest.NewServer(refSvc.Handler())
+	defer refTS.Close()
+	rp := NewPlayer(refTS.URL)
+	rp.Workers = 1
+	_, refFrames, err := rp.Play("RS", hmd.NewIMU(headtrace.Generate(v, 3)), 0)
+	if err != nil {
+		t.Fatalf("VOD reference playback: %v", err)
+	}
+	if len(frames) != len(refFrames) {
+		t.Fatalf("live played %d frames, VOD %d", len(frames), len(refFrames))
+	}
+	for i := range frames {
+		if frames[i].W != refFrames[i].W || frames[i].H != refFrames[i].H ||
+			string(frames[i].Pix) != string(refFrames[i].Pix) {
+			t.Fatalf("frame %d: live pixels differ from VOD", i)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"evr/internal/delivery"
+	"evr/internal/fixed"
 	"evr/internal/frame"
 	"evr/internal/geom"
 	"evr/internal/hmd"
@@ -62,6 +63,10 @@ type Player struct {
 	// full original) against videos ingested with tile streams. The zero
 	// value keeps the classic FOV/orig behavior.
 	Tiled TiledConfig
+	// PTEFormat overrides the PTE fixed-point format (the HAR bitwidth knob
+	// for heterogeneous fleets). The zero value keeps the default Q28.10.
+	// Ignored unless UseHAR is set.
+	PTEFormat fixed.Format
 	// Workers sets the render worker pool for FOV-miss fallback frames
 	// (0 = one worker per PTU on the PTE path, GOMAXPROCS on the reference
 	// path). Output is byte-identical for every worker count.
@@ -111,6 +116,11 @@ type PlaybackStats struct {
 	Retries         int // retried HTTP attempts
 	RetryAfterWaits int // retries whose delay honored a server Retry-After hint
 	TimedOut        int // HTTP attempts cut off by the per-request timeout
+
+	// Live-serving counters (all zero unless the video is a live stream).
+	LiveWaits        int     // 425 too-early responses waited out at the live edge
+	LiveSegments     int     // fetches observed at or past the live edge at join
+	BehindLiveMaxSec float64 // worst time-behind-live among those fetches
 }
 
 // NewPlayer returns a player against an EVR server base URL, with the
@@ -156,11 +166,19 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 		stats.Retries = int(after.Retries - before.Retries)
 		stats.RetryAfterWaits = int(after.RetryAfterWaits - before.RetryAfterWaits)
 		stats.TimedOut = int(after.TimedOut - before.TimedOut)
+		stats.LiveWaits = int(after.LiveWaits - before.LiveWaits)
+		stats.LiveSegments = int(after.LiveSegments - before.LiveSegments)
+		stats.BehindLiveMaxSec = float64(after.BehindLiveNsMax) / 1e9
 	}()
 
 	man, err := ftch.Manifest(p.BaseURL, video)
 	if err != nil {
 		return stats, nil, err
+	}
+	if man.Live {
+		// Record where the live edge stood at join: segments at or past it
+		// count toward freshness, the DVR backlog behind it does not.
+		ftch.SetLiveEdge(video, man.LiveEdge)
 	}
 	tolerance := geom.Radians((man.FOVXDeg - p.HMD.FOVXDeg) / 2)
 	if tolerance <= 0 {
@@ -170,7 +188,11 @@ func (p *Player) Play(video string, imu *hmd.IMU, maxSegments int) (stats Playba
 	method := projection.Method(man.Projection)
 	var engine *pte.Engine
 	if p.UseHAR {
-		engine, err = pte.New(pte.DefaultConfig(method, pt.Bilinear, vp))
+		pcfg := pte.DefaultConfig(method, pt.Bilinear, vp)
+		if p.PTEFormat != (fixed.Format{}) {
+			pcfg.Format = p.PTEFormat
+		}
+		engine, err = pte.New(pcfg)
 		if err != nil {
 			return stats, nil, err
 		}

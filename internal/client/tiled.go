@@ -67,6 +67,9 @@ type tiledSession struct {
 	// judge, at the actual pose, which tiles were truly needed.
 	fetchVP, needVP projection.Viewport
 	fullW, fullH    int
+	// lastMode feeds the previous segment's policy decision back into
+	// Decide so its hysteresis band can damp mode flapping.
+	lastMode delivery.Mode
 }
 
 // newTiledSession builds the tiled-mode state for one playback, or nil when
@@ -184,7 +187,9 @@ func (ts *tiledSession) plan(seg *server.SegmentInfo, tr headtrace.Trace, frameI
 		TiledBytes:    tiledBytes,
 		OrigBytes:     int64(seg.OrigBytes),
 		BufferSec:     ts.timeline.Buffer(),
+		LastMode:      ts.lastMode,
 	})
+	ts.lastMode = d.Mode
 	mode := d.Mode
 	if ts.force != delivery.ModeAuto {
 		mode = ts.force

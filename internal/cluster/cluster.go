@@ -184,6 +184,24 @@ func (c *Cluster) Publish(man *server.Manifest) {
 	}
 }
 
+// ServeLive attaches a live stream to every replica: each shard serves the
+// stream's moving manifest and gates segment requests on its live edge, and
+// every publish purges the segment from each shard's response cache and
+// from the edge tier — so the 425-to-payload transition is immediately
+// visible through the router. Call before Start so no publish races the
+// registration.
+func (c *Cluster) ServeLive(ls *server.LiveStream) {
+	for _, sh := range c.shards {
+		sh.svc.ServeLive(ls)
+	}
+	if c.edge != nil {
+		video := ls.Video()
+		ls.OnPublish(func(seg int) {
+			c.edge.purgeSegment(video, fmt.Sprintf("%d", seg))
+		})
+	}
+}
+
 // KillShard takes one replica off the ring: its keys move to their ring
 // successors (which serve them from the shared store), edge entries it
 // served are purged, and requests already routed to it re-route. Killing

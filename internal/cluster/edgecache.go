@@ -21,11 +21,14 @@ type edgeKey struct {
 
 // edgeResp is one upstream response held by the edge tier: enough of the
 // HTTP surface to replay it byte-identically — status, the content type,
-// the Retry-After shed hint, and the body.
+// the Retry-After shed hint, the live publish timestamp, and the body.
+// publishedAt is safe to cache: a segment's timestamp is immutable per
+// publish, and every publish purges its edge entries first.
 type edgeResp struct {
 	status      int
 	contentType string
 	retryAfter  string
+	publishedAt string // X-EVR-Published-At-Ns, "" for VOD payloads
 	body        []byte
 }
 
@@ -224,6 +227,21 @@ func (c *edgeCache) purgeVideo(video string) {
 	c.removeLocked(func(e *edgeEntry) bool { return e.key.video == video })
 	for key, fl := range c.flights {
 		if key.video == video {
+			fl.doomed = true
+		}
+	}
+}
+
+// purgeSegment drops every edge payload of one (video, segment) and dooms
+// its in-flight loads — live-publish propagation: the segment transitions
+// from 425 to a real payload, and any cached too-early envelope or stale
+// flight must not outlive the publish.
+func (c *edgeCache) purgeSegment(video, seg string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.removeLocked(func(e *edgeEntry) bool { return e.key.video == video && e.key.seg == seg })
+	for key, fl := range c.flights {
+		if key.video == video && key.seg == seg {
 			fl.doomed = true
 		}
 	}

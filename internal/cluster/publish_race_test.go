@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"evr/internal/client"
+	"evr/internal/delivery"
+	"evr/internal/frame"
+	"evr/internal/headtrace"
+	"evr/internal/hmd"
+	"evr/internal/server"
+)
+
+// checksumFrames hashes displayed frames the same way loadgen's
+// byte-identity probe does (loadgen itself imports this package, so the
+// helper is duplicated rather than imported).
+func checksumFrames(frames []*frame.Frame) uint64 {
+	h := fnv.New64a()
+	var dims [8]byte
+	for _, f := range frames {
+		dims[0], dims[1], dims[2], dims[3] = byte(f.W), byte(f.W>>8), byte(f.W>>16), byte(f.W>>24)
+		dims[4], dims[5], dims[6], dims[7] = byte(f.H), byte(f.H>>8), byte(f.H>>16), byte(f.H>>24)
+		h.Write(dims[:]) //nolint:errcheck // fnv never fails
+		h.Write(f.Pix)   //nolint:errcheck
+	}
+	return h.Sum64()
+}
+
+// playTiled runs one full tiled playback session through the router and
+// returns the displayed-frame checksum.
+func playTiled(t *testing.T, baseURL string, user int) uint64 {
+	t.Helper()
+	p := client.NewPlayer(baseURL)
+	p.Workers = 1
+	p.ViewportScale = 40
+	p.Tiled = client.TiledConfig{Enabled: true, Force: delivery.ModeTiled}
+	_, frames, err := p.Play("CLUSTER", hmd.NewIMU(headtrace.Generate(clusterSpec(), user)), 2)
+	if err != nil {
+		t.Fatalf("user %d: %v", user, err)
+	}
+	return checksumFrames(frames)
+}
+
+// TestConcurrentPublishNeverTearsTiledPlayback is the torn-segment gate:
+// manifests republished concurrently with routed tiled playback (the purge
+// fan-out racing in-flight segment and tile fetches, edge entries doomed
+// mid-read) must never change a single displayed pixel. Each session's
+// frame checksum is compared against a quiet-cluster baseline. ci.sh runs
+// the package under -race, which additionally catches unsynchronized
+// manifest/cache state.
+func TestConcurrentPublishNeverTearsTiledPlayback(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Shards = 3
+	opts.EdgeCacheBytes = 256 << 10
+	c, err := New(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Ingest(clusterSpec(), tiledClusterIngest()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	const users = 4
+	baseline := make([]uint64, users)
+	for u := 0; u < users; u++ {
+		baseline[u] = playTiled(t, srv.URL, u)
+	}
+
+	man, ok := c.Shard(0).Manifest("CLUSTER")
+	if !ok {
+		t.Fatal("shard 0 has no manifest")
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			republished := *man
+			c.Publish(&republished)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	sums := make([][2]uint64, 0, users*2)
+	var mu sync.Mutex
+	for round := 0; round < 1; round++ {
+		for u := 0; u < users; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				sum := playTiled(t, srv.URL, u)
+				mu.Lock()
+				sums = append(sums, [2]uint64{uint64(u), sum})
+				mu.Unlock()
+			}(u)
+		}
+		wg.Wait()
+	}
+	close(stop)
+	churn.Wait()
+
+	for _, s := range sums {
+		if want := baseline[s[0]]; s[1] != want {
+			t.Errorf("user %d: checksum %#x under publish churn != quiet baseline %#x — torn or stale segment served",
+				s[0], s[1], want)
+		}
+	}
+
+	var man2 server.Manifest = *man
+	c.Publish(&man2)
+	for u := 0; u < users; u++ {
+		if got := playTiled(t, srv.URL, u); got != baseline[u] {
+			t.Errorf("user %d: post-churn checksum %#x != baseline %#x", u, got, baseline[u])
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+
+	"evr/internal/server"
 )
 
 // Handler returns the router's HTTP surface — the same API a single
@@ -92,6 +94,7 @@ func (cp *capture) resp() *edgeResp {
 		status:      status,
 		contentType: cp.header.Get("Content-Type"),
 		retryAfter:  cp.header.Get("Retry-After"),
+		publishedAt: cp.header.Get(server.PublishedAtHeader),
 		body:        cp.body.Bytes(),
 	}
 }
@@ -209,6 +212,9 @@ func writeResp(w http.ResponseWriter, resp *edgeResp, edgeHit bool) {
 	}
 	if resp.retryAfter != "" {
 		w.Header().Set("Retry-After", resp.retryAfter)
+	}
+	if resp.publishedAt != "" {
+		w.Header().Set(server.PublishedAtHeader, resp.publishedAt)
 	}
 	if edgeHit {
 		w.Header().Set("X-EVR-Edge", "hit")

@@ -59,6 +59,12 @@ type PolicyConfig struct {
 	SegmentDuration float64
 	// Link models the access network used to derive byte budgets.
 	Link netsim.Link
+	// Hysteresis widens the decision boundaries by this relative margin
+	// when SegmentInputs.LastMode is set: staying in the current mode
+	// tolerates inputs up to (1+h) past a threshold, while switching into
+	// a new mode requires clearing it by (1-h). Bounds mode flapping when
+	// the budget oscillates around a boundary. 0 disables (memoryless).
+	Hysteresis float64
 }
 
 // DefaultPolicy returns the policy used by the tiled client and load
@@ -69,6 +75,7 @@ func DefaultPolicy(segmentDuration float64) PolicyConfig {
 		BandwidthSafety:  0.8,
 		SegmentDuration:  segmentDuration,
 		Link:             netsim.WiFi300(),
+		Hysteresis:       0.15,
 	}
 }
 
@@ -85,6 +92,9 @@ func (p PolicyConfig) Validate() error {
 	}
 	if p.Link.BandwidthBps <= 0 {
 		return fmt.Errorf("delivery: Link.BandwidthBps %v must be positive", p.Link.BandwidthBps)
+	}
+	if p.Hysteresis < 0 || p.Hysteresis >= 1 {
+		return fmt.Errorf("delivery: Hysteresis %v outside [0,1)", p.Hysteresis)
 	}
 	return nil
 }
@@ -109,6 +119,10 @@ type SegmentInputs struct {
 	OrigBytes int64
 	// BufferSec is the client's current playback buffer in seconds.
 	BufferSec float64
+	// LastMode is the mode chosen for the previous segment; the policy's
+	// hysteresis band favors staying in it. ModeAuto (the zero value)
+	// means no history, so the decision is memoryless.
+	LastMode Mode
 }
 
 // Decision is the policy outcome for one segment.
@@ -121,13 +135,37 @@ type Decision struct {
 // the prediction is confident and the stream fits the budget — it is the
 // cheapest and the paper's preferred path. Otherwise tiles win whenever
 // they undercut the full original; orig is the always-correct fallback.
+//
+// With Hysteresis h and a LastMode in the inputs, each threshold shifts by
+// ±h depending on whether the candidate mode matches the previous one:
+// keeping the current mode is allowed up to (1+h) past the nominal
+// boundary, entering a different mode requires clearing it by (1-h). A
+// budget oscillating a few percent around a boundary therefore produces at
+// most one switch instead of per-segment flapping.
 func (p PolicyConfig) Decide(in SegmentInputs) Decision {
 	budget := p.ByteBudget()
-	if in.FOVBytes > 0 && in.FOVConfidence >= p.FOVConfidenceMin && in.FOVBytes <= budget {
-		return Decision{Mode: ModeFOV, Reason: fmt.Sprintf("fov confidence %.2f >= %.2f, %dB within budget %dB", in.FOVConfidence, p.FOVConfidenceMin, in.FOVBytes, budget)}
+	h := p.Hysteresis
+	fovBudget := float64(budget)
+	fovMin := p.FOVConfidenceMin
+	tiledCeiling := float64(in.OrigBytes)
+	if h > 0 {
+		switch in.LastMode {
+		case ModeFOV:
+			fovBudget *= 1 + h
+			fovMin *= 1 - h
+		case ModeTiled:
+			fovBudget *= 1 - h
+			tiledCeiling *= 1 + h
+		case ModeOrig:
+			fovBudget *= 1 - h
+			tiledCeiling *= 1 - h
+		}
 	}
-	if in.TiledBytes > 0 && in.TiledBytes < in.OrigBytes {
-		return Decision{Mode: ModeTiled, Reason: fmt.Sprintf("tiles %dB < orig %dB", in.TiledBytes, in.OrigBytes)}
+	if in.FOVBytes > 0 && in.FOVConfidence >= fovMin && float64(in.FOVBytes) <= fovBudget {
+		return Decision{Mode: ModeFOV, Reason: fmt.Sprintf("fov confidence %.2f >= %.2f, %dB within budget %dB", in.FOVConfidence, fovMin, in.FOVBytes, int64(fovBudget))}
+	}
+	if in.TiledBytes > 0 && float64(in.TiledBytes) < tiledCeiling {
+		return Decision{Mode: ModeTiled, Reason: fmt.Sprintf("tiles %dB < orig ceiling %dB", in.TiledBytes, int64(tiledCeiling))}
 	}
 	return Decision{Mode: ModeOrig, Reason: "fallback to full original"}
 }

@@ -1,0 +1,274 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"evr/internal/client"
+	"evr/internal/delivery"
+	"evr/internal/energy"
+	"evr/internal/fixed"
+	"evr/internal/hmd"
+	"evr/internal/netsim"
+	"evr/internal/scene"
+	"evr/internal/telemetry"
+)
+
+// ClassSpec describes one client class of a heterogeneous fleet: how many
+// users it contributes, what they watch, and the device/delivery profile
+// they run — projection (via the video spec), delivery mode, PTE bitwidth,
+// client cache budget, and the modeled access link. A Config with Classes
+// set ignores the flat Users/Video/Spec/Zipf knobs: the fleet IS the user
+// population.
+type ClassSpec struct {
+	// Name labels the class in reports. Required, unique per run.
+	Name string
+	// Users is this class's session count per pass (≥ 1).
+	Users int
+	// Video names the catalog video this class plays; Spec overrides the
+	// catalog lookup when its Name is non-empty (e.g. a projection variant
+	// of a catalog video).
+	Video string
+	Spec  scene.VideoSpec
+	// Delivery picks the per-class delivery mode: "" or "fov" for the
+	// classic FOV/orig player, "tiled"/"orig" to pin the tiled pipeline to
+	// one mode, "policy" to let the three-way policy decide per segment.
+	// Tiled modes only engage for videos ingested with tile streams.
+	Delivery string
+	// UseHAR renders FOV misses on the PTE accelerator; PTEFormat then
+	// overrides the fixed-point bitwidth (zero = the default Q28.10).
+	UseHAR    bool
+	PTEFormat fixed.Format
+	// CacheSegments bounds the client segment cache (0 = client default).
+	CacheSegments int
+	// Link names the modeled access-link class (netsim.ClassByName) the
+	// tiled policy budgets against. "" = the 300 Mbps Wi-Fi default.
+	Link string
+	// ViewportScale overrides Config.ViewportScale for this class (0 =
+	// inherit).
+	ViewportScale int
+}
+
+// resolveSpec returns the video spec a class plays.
+func (cs *ClassSpec) resolveSpec() (scene.VideoSpec, error) {
+	if cs.Spec.Name != "" {
+		return cs.Spec, nil
+	}
+	v, ok := scene.ByName(cs.Video)
+	if !ok {
+		return scene.VideoSpec{}, fmt.Errorf("loadgen: class %q: unknown video %q", cs.Name, cs.Video)
+	}
+	return v, nil
+}
+
+// validateClasses checks the fleet and returns the total user count.
+func validateClasses(classes []ClassSpec) (int, error) {
+	total := 0
+	seen := make(map[string]bool, len(classes))
+	for i := range classes {
+		cs := &classes[i]
+		if cs.Name == "" {
+			return 0, fmt.Errorf("loadgen: class %d: Name required", i)
+		}
+		if seen[cs.Name] {
+			return 0, fmt.Errorf("loadgen: duplicate class %q", cs.Name)
+		}
+		seen[cs.Name] = true
+		if cs.Users < 1 {
+			return 0, fmt.Errorf("loadgen: class %q: Users %d must be ≥ 1", cs.Name, cs.Users)
+		}
+		switch cs.Delivery {
+		case "", "fov", "tiled", "orig", "policy":
+		default:
+			return 0, fmt.Errorf("loadgen: class %q: unknown delivery mode %q", cs.Name, cs.Delivery)
+		}
+		if cs.Link != "" {
+			if _, ok := netsim.ClassByName(cs.Link); !ok {
+				return 0, fmt.Errorf("loadgen: class %q: unknown link class %q", cs.Name, cs.Link)
+			}
+		}
+		if _, err := cs.resolveSpec(); err != nil {
+			return 0, err
+		}
+		total += cs.Users
+	}
+	return total, nil
+}
+
+// tiledConfig translates a class's delivery mode into the player's tiled
+// config, nil for the classic FOV/orig pipeline.
+func (cs *ClassSpec) tiledConfig() *client.TiledConfig {
+	var force delivery.Mode
+	switch cs.Delivery {
+	case "tiled":
+		force = delivery.ModeTiled
+	case "orig":
+		force = delivery.ModeOrig
+	case "policy":
+		force = delivery.ModeAuto
+	default:
+		return nil
+	}
+	tc := client.TiledConfig{Enabled: true, Force: force}
+	if cs.Link != "" {
+		tc.Link, _ = netsim.ClassByName(cs.Link)
+	}
+	return &tc
+}
+
+// ClassStats aggregates one class's sessions across every pass.
+type ClassStats struct {
+	Name         string
+	Users        int // sessions per pass
+	Sessions     int // total across passes
+	Failures     int
+	Frames       int
+	Hits         int
+	HitRate      float64
+	Stalls       int     // modeled rebuffer events (tiled classes)
+	StallSec     float64 // modeled rebuffer seconds
+	BytesFetched int64
+	CacheHits    int
+	Retries      int
+	// EnergyJ is the modeled client-device energy across the class's
+	// successful sessions: network + decode per wire byte, display
+	// processing per rendered viewport pixel (TX2 coefficients).
+	EnergyJ float64
+	// Live freshness, from sessions that fetched at or past the live edge.
+	LiveWaits        int
+	LiveSegments     int
+	BehindLiveP50Sec float64
+	BehindLiveP99Sec float64
+	BehindLiveMaxSec float64
+}
+
+// fleetState is the per-run bookkeeping Classes mode adds: the user →
+// class mapping and one behind-live histogram per class.
+type fleetState struct {
+	classes []ClassSpec
+	byUser  []int // user index → class index
+	behind  []*telemetry.Histogram
+	specs   []scene.VideoSpec // resolved per class
+}
+
+// newFleetState expands the class list into per-user assignments, class
+// by class in order — user IDs stay stable run to run, which the
+// determinism gates lean on.
+func newFleetState(classes []ClassSpec, totalUsers int) (*fleetState, error) {
+	fs := &fleetState{
+		classes: classes,
+		byUser:  make([]int, 0, totalUsers),
+		behind:  make([]*telemetry.Histogram, len(classes)),
+		specs:   make([]scene.VideoSpec, len(classes)),
+	}
+	for ci := range classes {
+		spec, err := classes[ci].resolveSpec()
+		if err != nil {
+			return nil, err
+		}
+		fs.specs[ci] = spec
+		fs.behind[ci] = telemetry.NewHistogram(telemetry.DefaultLatencyBuckets())
+		for u := 0; u < classes[ci].Users; u++ {
+			fs.byUser = append(fs.byUser, ci)
+		}
+	}
+	return fs, nil
+}
+
+// sessionEnergyJ models one session's client-device energy draw with the
+// TX2 coefficients: every wire byte is received and decoded, every
+// displayed frame pays display processing per viewport pixel.
+func sessionEnergyJ(stats client.PlaybackStats, viewportScale int) float64 {
+	m := energy.TX2()
+	vp := hmd.OSVRHDK2().ScaledViewport(viewportScale)
+	bytes := float64(stats.BytesFetched)
+	pixels := float64(stats.Frames) * float64(vp.Width) * float64(vp.Height)
+	return bytes*(m.NetJPerByte+m.DecodeJPerByte) + pixels*m.DisplayProcJPerPixel
+}
+
+// aggregateClasses folds every session result into per-class stats.
+func aggregateClasses(fs *fleetState, results []UserResult, cfg Config) []ClassStats {
+	out := make([]ClassStats, len(fs.classes))
+	for ci := range fs.classes {
+		out[ci].Name = fs.classes[ci].Name
+		out[ci].Users = fs.classes[ci].Users
+	}
+	for _, r := range results {
+		ci := fs.byUser[r.User]
+		st := &out[ci]
+		st.Sessions++
+		if r.Err != nil {
+			st.Failures++
+			continue
+		}
+		st.Frames += r.Stats.Frames
+		st.Hits += r.Stats.Hits
+		st.Stalls += r.Stats.ModeledStalls
+		st.StallSec += r.Stats.ModeledStallSec
+		st.BytesFetched += r.Stats.BytesFetched
+		st.CacheHits += r.Stats.CacheHits
+		st.Retries += r.Stats.Retries
+		st.LiveWaits += r.Stats.LiveWaits
+		st.LiveSegments += r.Stats.LiveSegments
+		if r.Stats.BehindLiveMaxSec > st.BehindLiveMaxSec {
+			st.BehindLiveMaxSec = r.Stats.BehindLiveMaxSec
+		}
+		scale := fs.classes[ci].ViewportScale
+		if scale == 0 {
+			scale = cfg.ViewportScale
+		}
+		if scale == 0 {
+			scale = 40 // player default
+		}
+		st.EnergyJ += sessionEnergyJ(r.Stats, scale)
+	}
+	for ci := range out {
+		if out[ci].Frames > 0 {
+			out[ci].HitRate = float64(out[ci].Hits) / float64(out[ci].Frames)
+		}
+		snap := fs.behind[ci].Snapshot()
+		if snap.Count > 0 {
+			out[ci].BehindLiveP50Sec = snap.Quantile(0.50)
+			out[ci].BehindLiveP99Sec = snap.Quantile(0.99)
+		}
+	}
+	return out
+}
+
+// ClassByName returns the named class stats from a report, false when the
+// report has no such class.
+func (r *Report) ClassByName(name string) (ClassStats, bool) {
+	for _, cs := range r.Classes {
+		if cs.Name == name {
+			return cs, true
+		}
+	}
+	return ClassStats{}, false
+}
+
+// BehindLiveP99 returns the worst per-class freshness p99 across the
+// report, as a duration — the survival gate's headline SLO number.
+func (r *Report) BehindLiveP99() time.Duration {
+	worst := 0.0
+	for _, cs := range r.Classes {
+		if cs.BehindLiveP99Sec > worst {
+			worst = cs.BehindLiveP99Sec
+		}
+	}
+	return time.Duration(worst * float64(time.Second))
+}
+
+// classVideos lists the distinct videos a fleet plays, sorted.
+func classVideos(fs *fleetState) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range fs.specs {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -84,6 +84,16 @@ type Config struct {
 	// OnPassStart, when set, runs before each pass's sessions launch —
 	// the hook evrload's mid-run shard kill uses.
 	OnPassStart func(pass int)
+	// Classes, when non-empty, runs a heterogeneous fleet: each class
+	// contributes its own user count, video, delivery mode, PTE bitwidth,
+	// cache budget, and modeled link, and the report carries per-class
+	// aggregates. Users/Video/Spec/Specs/ZipfExponent are ignored.
+	Classes []ClassSpec
+	// WrapTransport, when set, wraps each user's HTTP transport — the
+	// chaos engine's per-client fault-injection hook. The wrapper sits
+	// under the latency-timing layer, so injected delay and loss show up
+	// in the report's latency quantiles like real network trouble would.
+	WrapTransport func(user int, class string, base http.RoundTripper) http.RoundTripper
 	// Delivery, when non-nil, runs every session in the viewport-adaptive
 	// tiled delivery mode with this config (the target must have been
 	// ingested with tile streams for it to engage).
@@ -99,6 +109,7 @@ type Config struct {
 type UserResult struct {
 	User    int
 	Pass    int
+	Class   string // the user's fleet class, "" outside Classes mode
 	Video   string // the video this user plays (varies in Zipf mode)
 	Err     error
 	Elapsed time.Duration
@@ -180,6 +191,7 @@ type Report struct {
 	Segments int
 	Results  []UserResult // Users × Passes entries
 	PerPass  []PassStats
+	Classes  []ClassStats // per-class aggregates, empty outside Classes mode
 	Latency  LatencySummary
 	Elapsed  time.Duration
 }
@@ -197,11 +209,14 @@ func (r *Report) Failures() []UserResult {
 
 // timingTransport observes every HTTP round trip into a shared latency
 // histogram — the request-latency distribution the whole report quotes.
+// The histogram and counters are pointers so per-user instances (built
+// when WrapTransport stacks a fault layer under the timing layer) all
+// feed the same distribution.
 type timingTransport struct {
 	base     http.RoundTripper
 	hist     *telemetry.Histogram
-	requests telemetry.Counter
-	errors   telemetry.Counter
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
 }
 
 func (t *timingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
@@ -285,9 +300,30 @@ func (c *Config) validate() ([]scene.VideoSpec, error) {
 // the report (and in Report.Failures) so one bad session doesn't mask the
 // other N-1 measurements.
 func Run(cfg Config) (*Report, error) {
-	catalog, err := cfg.validate()
-	if err != nil {
-		return nil, err
+	var catalog []scene.VideoSpec
+	var fleet *fleetState
+	var err error
+	if len(cfg.Classes) > 0 {
+		total, err := validateClasses(cfg.Classes)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Users = total
+		if cfg.Passes < 1 {
+			cfg.Passes = 1
+		}
+		if cfg.BaseURL == "" {
+			return nil, fmt.Errorf("loadgen: BaseURL required (use Serve for an in-process server)")
+		}
+		fleet, err = newFleetState(cfg.Classes, total)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		catalog, err = cfg.validate()
+		if err != nil {
+			return nil, err
+		}
 	}
 	fetch := client.DefaultFetchConfig()
 	if cfg.Fetch != nil {
@@ -299,7 +335,9 @@ func Run(cfg Config) (*Report, error) {
 			MaxIdleConns:        cfg.Users * 2,
 			MaxIdleConnsPerHost: cfg.Users * 2,
 		},
-		hist: telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()),
+		hist:     telemetry.NewHistogram(telemetry.DefaultLatencyBuckets()),
+		requests: &telemetry.Counter{},
+		errors:   &telemetry.Counter{},
 	}
 	httpClient := cfg.HTTP
 	if httpClient == nil {
@@ -316,25 +354,59 @@ func Run(cfg Config) (*Report, error) {
 		httpClient = &wrapped
 	}
 
-	// Each user is pinned to one video — Zipf-popular when an exponent is
-	// set, round-robin otherwise — and traces are generated once and
-	// replayed every pass: determinism is the property the soak leans on.
+	// Each user is pinned to one video — class-assigned in fleet mode,
+	// Zipf-popular when an exponent is set, round-robin otherwise — and
+	// traces are generated once and replayed every pass: determinism is
+	// the property the soak leans on.
 	assigned := make([]scene.VideoSpec, cfg.Users)
 	traces := make([]headtrace.Trace, cfg.Users)
 	for u := 0; u < cfg.Users; u++ {
-		if cfg.ZipfExponent > 0 {
+		switch {
+		case fleet != nil:
+			assigned[u] = fleet.specs[fleet.byUser[u]]
+		case cfg.ZipfExponent > 0:
 			assigned[u] = catalog[zipfAssign(u, len(catalog), cfg.ZipfExponent)]
-		} else {
+		default:
 			assigned[u] = catalog[u%len(catalog)]
 		}
 		traces[u] = headtrace.Generate(assigned[u], u)
 	}
 
-	rep := &Report{Video: catalog[0].Name, Zipf: cfg.ZipfExponent,
-		Users: cfg.Users, Passes: cfg.Passes, Segments: cfg.Segments}
-	if len(catalog) > 1 {
-		for _, s := range catalog {
-			rep.Videos = append(rep.Videos, s.Name)
+	// Per-user HTTP clients exist only when a fault layer wraps each
+	// user's transport; the timing layer on top still feeds one shared
+	// histogram, so the report's latency view spans the whole fleet.
+	clients := make([]*http.Client, cfg.Users)
+	for u := 0; u < cfg.Users; u++ {
+		if cfg.WrapTransport == nil {
+			clients[u] = httpClient
+			continue
+		}
+		className := ""
+		if fleet != nil {
+			className = cfg.Classes[fleet.byUser[u]].Name
+		}
+		clients[u] = &http.Client{Transport: &timingTransport{
+			base:     cfg.WrapTransport(u, className, tt.base),
+			hist:     tt.hist,
+			requests: tt.requests,
+			errors:   tt.errors,
+		}}
+	}
+
+	var rep *Report
+	if fleet != nil {
+		rep = &Report{Video: fleet.specs[0].Name,
+			Users: cfg.Users, Passes: cfg.Passes, Segments: cfg.Segments}
+		if vids := classVideos(fleet); len(vids) > 1 {
+			rep.Videos = vids
+		}
+	} else {
+		rep = &Report{Video: catalog[0].Name, Zipf: cfg.ZipfExponent,
+			Users: cfg.Users, Passes: cfg.Passes, Segments: cfg.Segments}
+		if len(catalog) > 1 {
+			for _, s := range catalog {
+				rep.Videos = append(rep.Videos, s.Name)
+			}
 		}
 	}
 	start := time.Now()
@@ -362,7 +434,13 @@ func Run(cfg Config) (*Report, error) {
 			wg.Add(1)
 			go func(u int) {
 				defer wg.Done()
-				results[u] = runSession(cfg, fetch, httpClient, assigned[u].Name, traces[u], u, pass)
+				var cs *ClassSpec
+				var behind *telemetry.Histogram
+				if fleet != nil {
+					cs = &cfg.Classes[fleet.byUser[u]]
+					behind = fleet.behind[fleet.byUser[u]]
+				}
+				results[u] = runSession(cfg, fetch, clients[u], assigned[u].Name, traces[u], u, pass, cs, behind)
 			}(u)
 		}
 		wg.Wait()
@@ -414,6 +492,9 @@ func Run(cfg Config) (*Report, error) {
 		rep.Results = append(rep.Results, results...)
 	}
 	rep.Elapsed = time.Since(start)
+	if fleet != nil {
+		rep.Classes = aggregateClasses(fleet, rep.Results, cfg)
+	}
 
 	snap := tt.hist.Snapshot()
 	rep.Latency = LatencySummary{
@@ -428,8 +509,9 @@ func Run(cfg Config) (*Report, error) {
 }
 
 // runSession plays one user's trace through a fresh player on the shared
-// HTTP client and summarizes it.
-func runSession(cfg Config, fetch client.FetchConfig, httpClient *http.Client, video string, trace headtrace.Trace, user, pass int) UserResult {
+// (or per-user fault-wrapped) HTTP client and summarizes it. cs carries
+// the user's fleet class profile, nil outside Classes mode.
+func runSession(cfg Config, fetch client.FetchConfig, httpClient *http.Client, video string, trace headtrace.Trace, user, pass int, cs *ClassSpec, behind *telemetry.Histogram) UserResult {
 	p := client.NewPlayer(cfg.BaseURL)
 	p.HTTP = httpClient
 	p.Fetch = fetch
@@ -445,6 +527,22 @@ func runSession(cfg Config, fetch client.FetchConfig, httpClient *http.Client, v
 	if cfg.Delivery != nil {
 		p.Tiled = *cfg.Delivery
 	}
+	className := ""
+	if cs != nil {
+		className = cs.Name
+		p.UseHAR = cs.UseHAR
+		p.PTEFormat = cs.PTEFormat
+		if cs.CacheSegments > 0 {
+			p.Fetch.CacheSegments = cs.CacheSegments
+		}
+		if cs.ViewportScale > 0 {
+			p.ViewportScale = cs.ViewportScale
+		}
+		if tc := cs.tiledConfig(); tc != nil {
+			p.Tiled = *tc
+		}
+		p.Fetch.BehindLive = behind
+	}
 	start := time.Now()
 	stats, frames, err := p.Play(video, hmd.NewIMU(trace), cfg.Segments)
 	if err == nil && cfg.FrameSink != nil {
@@ -453,6 +551,7 @@ func runSession(cfg Config, fetch client.FetchConfig, httpClient *http.Client, v
 	return UserResult{
 		User:     user,
 		Pass:     pass,
+		Class:    className,
 		Video:    video,
 		Err:      err,
 		Elapsed:  time.Since(start),

@@ -59,6 +59,23 @@ func (r *Report) WriteText(w io.Writer, perUser bool) {
 		}
 	}
 
+	if len(r.Classes) > 0 {
+		fmt.Fprintf(w, "fleet classes:\n")
+		fmt.Fprintf(w, "  %-14s %5s %5s %7s %10s %8s %6s %10s %9s %9s %9s\n",
+			"class", "users", "fail", "hit%", "bytes", "energy", "waits", "behind-p50", "p99", "max", "stalls")
+		for _, cs := range r.Classes {
+			behind50, behind99, behindMax := "-", "-", "-"
+			if cs.LiveSegments > 0 {
+				behind50 = fmt.Sprintf("%.0fms", 1000*cs.BehindLiveP50Sec)
+				behind99 = fmt.Sprintf("%.0fms", 1000*cs.BehindLiveP99Sec)
+				behindMax = fmt.Sprintf("%.0fms", 1000*cs.BehindLiveMaxSec)
+			}
+			fmt.Fprintf(w, "  %-14s %5d %5d %6.1f%% %10s %7.2fJ %6d %10s %9s %9s %9d\n",
+				cs.Name, cs.Users, cs.Failures, 100*cs.HitRate, byteSize(cs.BytesFetched),
+				cs.EnergyJ, cs.LiveWaits, behind50, behind99, behindMax, cs.Stalls)
+		}
+	}
+
 	l := r.Latency
 	fmt.Fprintf(w, "request latency (%d requests, %d errors): p50 %v  p95 %v  p99 %v  max %v\n",
 		l.Requests, l.Errors,

@@ -4,15 +4,20 @@
 // to drive the network component of the device energy model.
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Link models a wireless link with fixed effective bandwidth, base latency,
-// and an optional packet-loss rate (retransmissions stretch transfers by
-// the expected 1/(1-loss) factor — a fluid approximation of ARQ).
+// an optional packet-loss rate (retransmissions stretch transfers by
+// the expected 1/(1-loss) factor — a fluid approximation of ARQ), and an
+// optional jitter bound used by fault-injection transports.
 type Link struct {
-	BandwidthBps float64 // effective payload bandwidth, bits per second
-	RTTSeconds   float64 // request round-trip latency
-	LossRate     float64 // packet loss probability in [0, 1)
+	BandwidthBps  float64 // effective payload bandwidth, bits per second
+	RTTSeconds    float64 // request round-trip latency
+	LossRate      float64 // packet loss probability in [0, 1)
+	JitterSeconds float64 // max extra per-request delay (injected uniformly in [0, jitter])
 }
 
 // WiFi300 returns the paper's evaluation link: 300 Mbps effective WiFi with
@@ -21,8 +26,23 @@ func WiFi300() Link {
 	return Link{BandwidthBps: 300e6, RTTSeconds: 2e-3}
 }
 
-// Validate reports whether the link is usable.
+// Validate reports whether the link is usable. NaN and ±Inf are rejected on
+// every field (a NaN loss rate previously slid through the range checks,
+// since NaN fails every comparison).
 func (l Link) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"bandwidth", l.BandwidthBps},
+		{"RTT", l.RTTSeconds},
+		{"loss rate", l.LossRate},
+		{"jitter", l.JitterSeconds},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("netsim: %s %v must be finite", f.name, f.v)
+		}
+	}
 	if l.BandwidthBps <= 0 {
 		return fmt.Errorf("netsim: bandwidth %v bps must be positive", l.BandwidthBps)
 	}
@@ -31,6 +51,9 @@ func (l Link) Validate() error {
 	}
 	if l.LossRate < 0 || l.LossRate >= 1 {
 		return fmt.Errorf("netsim: loss rate %v out of [0, 1)", l.LossRate)
+	}
+	if l.JitterSeconds < 0 {
+		return fmt.Errorf("netsim: jitter %v s must be non-negative", l.JitterSeconds)
 	}
 	return nil
 }

@@ -16,17 +16,85 @@ func TestWiFi300(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
-	if err := (Link{BandwidthBps: 0, RTTSeconds: 0}).Validate(); err == nil {
-		t.Error("zero bandwidth accepted")
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		link Link
+		ok   bool
+	}{
+		{"wifi300", WiFi300(), true},
+		{"jittery", Link{BandwidthBps: 1e6, RTTSeconds: 0.01, JitterSeconds: 0.02}, true},
+		{"zero jitter", Link{BandwidthBps: 1e6}, true},
+		{"max usable loss", Link{BandwidthBps: 1, LossRate: 0.999}, true},
+		{"zero bandwidth", Link{BandwidthBps: 0}, false},
+		{"negative bandwidth", Link{BandwidthBps: -1}, false},
+		{"negative RTT", Link{BandwidthBps: 1, RTTSeconds: -1}, false},
+		{"total loss", Link{BandwidthBps: 1, LossRate: 1}, false},
+		{"negative loss", Link{BandwidthBps: 1, LossRate: -0.1}, false},
+		{"negative jitter", Link{BandwidthBps: 1, JitterSeconds: -1e-3}, false},
+		{"NaN loss", Link{BandwidthBps: 1, LossRate: nan}, false},
+		{"NaN bandwidth", Link{BandwidthBps: nan}, false},
+		{"NaN RTT", Link{BandwidthBps: 1, RTTSeconds: nan}, false},
+		{"NaN jitter", Link{BandwidthBps: 1, JitterSeconds: nan}, false},
+		{"Inf bandwidth", Link{BandwidthBps: inf}, false},
+		{"-Inf RTT", Link{BandwidthBps: 1, RTTSeconds: math.Inf(-1)}, false},
+		{"Inf loss", Link{BandwidthBps: 1, LossRate: inf}, false},
+		{"Inf jitter", Link{BandwidthBps: 1, JitterSeconds: inf}, false},
 	}
-	if err := (Link{BandwidthBps: 1, RTTSeconds: -1}).Validate(); err == nil {
-		t.Error("negative RTT accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.link.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate(%+v) = %v, want nil", tc.link, err)
+			}
+			if !tc.ok && err == nil {
+				t.Errorf("Validate(%+v) accepted, want error", tc.link)
+			}
+		})
 	}
-	if err := (Link{BandwidthBps: 1, LossRate: 1}).Validate(); err == nil {
-		t.Error("total loss accepted")
+}
+
+func TestLinkClasses(t *testing.T) {
+	for _, name := range ClassNames() {
+		l, ok := ClassByName(name)
+		if !ok {
+			t.Fatalf("ClassByName(%q) missing", name)
+		}
+		if err := l.Validate(); err != nil {
+			t.Errorf("class %q invalid: %v", name, err)
+		}
 	}
-	if err := (Link{BandwidthBps: 1, LossRate: -0.1}).Validate(); err == nil {
-		t.Error("negative loss accepted")
+	if _, ok := ClassByName("carrier-pigeon"); ok {
+		t.Error("unknown class resolved")
+	}
+	if l, _ := ClassByName("wifi300"); l != WiFi300() {
+		t.Errorf("wifi300 class = %+v", l)
+	}
+}
+
+func TestTraceAt(t *testing.T) {
+	a := Link{BandwidthBps: 10e6}
+	b := Link{BandwidthBps: 1e6}
+	tr := SquareWave(a, b, 2)
+	want := []Link{a, a, b, b, a, a, b, b}
+	for i, w := range want {
+		if got := tr.At(i); got != w {
+			t.Errorf("At(%d) = %+v, want %+v", i, got, w)
+		}
+	}
+	if got := (Trace{}).At(3); got != WiFi300() {
+		t.Errorf("empty trace At = %+v", got)
+	}
+	if got := tr.At(-3); got != tr.At(3) {
+		t.Errorf("negative index not mirrored")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Trace{Steps: []Link{a, {BandwidthBps: math.NaN()}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("trace with NaN step accepted")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"evr/internal/scene"
@@ -26,12 +27,16 @@ type Service struct {
 	mu        sync.RWMutex
 	store     *store.Store
 	manifests map[string]*Manifest
+	live      map[string]*LiveStream
 	metrics   *Metrics
 
-	opts      ServiceOptions
-	cache     *respCache    // nil when RespCacheBytes ≤ 0
-	inflight  chan struct{} // nil when MaxInFlight ≤ 0
-	throttled *telemetry.Counter
+	opts       ServiceOptions
+	storeDelay atomic.Int64  // nanoseconds; mutable at runtime (fault injection)
+	cache      *respCache    // nil when RespCacheBytes ≤ 0
+	inflight   chan struct{} // nil when MaxInFlight ≤ 0
+	throttled  *telemetry.Counter
+	tooEarly   *telemetry.Counter
+	liveBehind *telemetry.Histogram
 }
 
 // NewService returns an empty service backed by the given store, with the
@@ -49,17 +54,58 @@ func NewServiceOpts(st *store.Store, opts ServiceOptions) *Service {
 	s := &Service{
 		store:     st,
 		manifests: make(map[string]*Manifest),
+		live:      make(map[string]*LiveStream),
 		metrics:   m,
 		opts:      opts,
 		cache:     newRespCache(opts.RespCacheBytes, m.Registry()),
 	}
+	s.storeDelay.Store(int64(opts.StoreDelay))
 	m.reg.SetHelp(promThrottled, "segment requests shed by admission control (503)")
 	s.throttled = m.reg.Counter(promThrottled)
+	m.reg.SetHelp(promTooEarly, "live segment requests ahead of the edge (425)")
+	s.tooEarly = m.reg.Counter(promTooEarly)
+	m.reg.SetHelp(promLiveBehind, "server-observed time behind live at serve, seconds")
+	s.liveBehind = m.reg.Histogram(promLiveBehind, telemetry.DefaultLatencyBuckets())
 	if opts.MaxInFlight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInFlight)
 	}
 	return s
 }
+
+// ServeLive attaches a live stream to this service: the manifest is served
+// from the stream's atomically updated snapshot, requests at or past the
+// live edge are answered 425 + Retry-After, successful live responses
+// carry PublishedAtHeader, and every publish purges that segment's cached
+// responses (dooming in-flight loads) so the edge advance is immediately
+// visible.
+func (s *Service) ServeLive(ls *LiveStream) {
+	video := ls.Video()
+	s.mu.Lock()
+	s.live[video] = ls
+	s.mu.Unlock()
+	if s.cache != nil {
+		ls.OnPublish(func(seg int) { s.cache.purgeSegment(video, seg) })
+	}
+}
+
+// liveStream returns the live stream serving video, if any.
+func (s *Service) liveStream(video string) *LiveStream {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.live[video]
+}
+
+// SetStoreDelay changes the synthetic per-miss store latency at runtime —
+// the chaos harness's slow-shard fault.
+func (s *Service) SetStoreDelay(d time.Duration) {
+	s.storeDelay.Store(int64(d))
+}
+
+// TooEarly returns how many live requests were rejected ahead of the edge.
+func (s *Service) TooEarly() int64 { return s.tooEarly.Value() }
+
+// LiveBehind snapshots the server-side time-behind-live histogram.
+func (s *Service) LiveBehind() telemetry.HistogramSnapshot { return s.liveBehind.Snapshot() }
 
 // Metrics exposes the service's request counters.
 func (s *Service) Metrics() *Metrics { return s.metrics }
@@ -114,21 +160,31 @@ func (s *Service) Publish(man *Manifest) {
 	}
 }
 
-// Manifest returns the manifest of a published video.
+// Manifest returns the manifest of a published video. Live streams serve
+// their current snapshot (edge and byte counts advance per publish).
 func (s *Service) Manifest(video string) (*Manifest, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	ls := s.live[video]
 	m, ok := s.manifests[video]
+	s.mu.RUnlock()
+	if ls != nil {
+		return ls.Manifest(), true
+	}
 	return m, ok
 }
 
-// Videos returns the published video names, sorted.
+// Videos returns the published video names (batch and live), sorted.
 func (s *Service) Videos() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.manifests))
+	out := make([]string, 0, len(s.manifests)+len(s.live))
 	for k := range s.manifests {
 		out = append(out, k)
+	}
+	for k := range s.live {
+		if _, dup := s.manifests[k]; !dup {
+			out = append(out, k)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -189,6 +245,9 @@ func (s *Service) tileHandler(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.liveAdmit(w, r.PathValue("video"), seg) {
+		return
+	}
 	if !s.admit(w) {
 		return
 	}
@@ -200,9 +259,43 @@ func (s *Service) tileHandler(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	s.stampLive(w, key.video, seg)
 	if _, err := w.Write(data); err != nil {
 		s.metrics.noteWriteError("tile")
 	}
+}
+
+// liveAdmit rejects a request at or past a live stream's edge with 425 Too
+// Early, plus a Retry-After hint when the next publish is ≥ 1 s out
+// (sub-second schedules leave the pacing to client backoff). Segments past
+// the stream's end fall through to the normal 404. Non-live videos always
+// pass.
+func (s *Service) liveAdmit(w http.ResponseWriter, video string, seg int) bool {
+	ls := s.liveStream(video)
+	if ls == nil || seg >= ls.Segments() || seg < ls.Edge() {
+		return true
+	}
+	if secs := ls.RetryAfterSeconds(seg); secs >= 1 {
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	s.tooEarly.Inc()
+	http.Error(w, "segment not yet published (live edge)", http.StatusTooEarly)
+	return false
+}
+
+// stampLive adds the publish-timestamp header to responses for published
+// live segments and observes server-side time-behind-live.
+func (s *Service) stampLive(w http.ResponseWriter, video string, seg int) {
+	ls := s.liveStream(video)
+	if ls == nil {
+		return
+	}
+	ns, ok := ls.PublishedAtNs(seg)
+	if !ok {
+		return
+	}
+	w.Header().Set(PublishedAtHeader, strconv.FormatInt(ns, 10))
+	s.liveBehind.Observe(float64(ls.Clock().Now().UnixNano()-ns) / 1e9)
 }
 
 // segmentHandler serves one of the three segment payload shapes through
@@ -223,6 +316,9 @@ func (s *Service) segmentHandler(endpoint string, kind respKind) http.HandlerFun
 				return
 			}
 		}
+		if !s.liveAdmit(w, r.PathValue("video"), seg) {
+			return
+		}
 		if !s.admit(w) {
 			return
 		}
@@ -234,6 +330,7 @@ func (s *Service) segmentHandler(endpoint string, kind respKind) http.HandlerFun
 			return
 		}
 		w.Header().Set("Content-Type", contentType)
+		s.stampLive(w, key.video, seg)
 		if _, err := w.Write(data); err != nil {
 			// Nothing to send the client anymore, but a half-delivered
 			// segment is exactly what the fetch layer's retries mask —
@@ -248,8 +345,8 @@ func (s *Service) segmentHandler(endpoint string, kind respKind) http.HandlerFun
 // identical misses coalesce into one load).
 func (s *Service) payload(key respKey) ([]byte, bool) {
 	load := func() ([]byte, bool) {
-		if s.opts.StoreDelay > 0 {
-			time.Sleep(s.opts.StoreDelay)
+		if d := time.Duration(s.storeDelay.Load()); d > 0 {
+			time.Sleep(d)
 		}
 		var sk string
 		switch key.kind {

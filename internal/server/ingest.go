@@ -64,6 +64,13 @@ type IngestConfig struct {
 	// (which is why only the H primitive applies to live content).
 	LiveMode bool
 
+	// Live switches to the live ingest pipeline (NewLiveStream): a
+	// producer renders and encodes segments into a bounded queue and a
+	// publisher commits them on a clock schedule while the service serves.
+	// Implies LiveMode. Batch Ingest rejects a config with Live set, and
+	// live ingest is orig-only (no Tiled).
+	Live *LiveOptions
+
 	// Workers bounds the ingest worker pool that fans out segment frame
 	// rendering and per-cluster FOV pre-rendering/encoding; 0 uses
 	// GOMAXPROCS. The manifest and every stored payload are byte-identical
@@ -178,6 +185,14 @@ func (c IngestConfig) Validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("server: Workers must be ≥ 0")
 	}
+	if c.Live != nil {
+		if err := c.Live.Validate(); err != nil {
+			return err
+		}
+		if c.Tiled {
+			return fmt.Errorf("server: live ingest is orig-only (no tiled streams)")
+		}
+	}
 	if c.Tiled {
 		g := tiling.Grid{Cols: c.TileCols, Rows: c.TileRows}
 		if err := g.Validate(c.FullW, c.FullH); err != nil {
@@ -258,6 +273,12 @@ type Manifest struct {
 	Tiling        *TilingInfo   `json:"tiling,omitempty"`
 	Segments      []SegmentInfo `json:"segments"`
 	Report        IngestReport  `json:"report"`
+	// Live marks a manifest served by an in-progress live stream: every
+	// segment slot exists up front (so players can plan the session), but
+	// only indices below LiveEdge have been published. Requests at or past
+	// the edge get 425 + Retry-After.
+	Live     bool `json:"live,omitempty"`
+	LiveEdge int  `json:"liveEdge,omitempty"`
 }
 
 // IngestReport quantifies the cloud analysis cost — the axis the §9
@@ -278,12 +299,19 @@ func tileKey(video string, seg, tile, rung int) string {
 }
 func tileLowKey(video string, seg int) string { return fmt.Sprintf("%s/tilelow/%d", video, seg) }
 
-// Ingest runs the cloud pipeline for one video and fills the SAS store.
-func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, error) {
-	cfg = cfg.withTiledDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+// segmentSpan returns the total frame count of a spec and the number of
+// temporal segments an ingest of it produces under cfg.
+func segmentSpan(v scene.VideoSpec, cfg IngestConfig) (total, nSegs int) {
+	total = v.Frames()
+	nSegs = (total + cfg.SAS.SegmentFrames - 1) / cfg.SAS.SegmentFrames
+	if cfg.MaxSegments > 0 && nSegs > cfg.MaxSegments {
+		nSegs = cfg.MaxSegments
 	}
+	return total, nSegs
+}
+
+// baseManifest builds the manifest header shared by batch and live ingest.
+func baseManifest(v scene.VideoSpec, cfg IngestConfig) *Manifest {
 	man := &Manifest{
 		Video: v.Name, FPS: v.FPS,
 		FullW: cfg.FullW, FullH: cfg.FullH,
@@ -295,11 +323,43 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 	if cfg.Tiled {
 		man.Tiling = &TilingInfo{Cols: cfg.TileCols, Rows: cfg.TileRows, Rungs: cfg.TileRungs, LowDiv: cfg.TileLowDiv}
 	}
-	total := v.Frames()
-	nSegs := (total + cfg.SAS.SegmentFrames - 1) / cfg.SAS.SegmentFrames
-	if cfg.MaxSegments > 0 && nSegs > cfg.MaxSegments {
-		nSegs = cfg.MaxSegments
+	return man
+}
+
+// renderSegmentFrames renders one segment's original frames, fanning frames
+// out across the worker pool (scene sampling is pure per frame). Shared by
+// batch ingest and the live producer.
+func renderSegmentFrames(v scene.VideoSpec, cfg IngestConfig, start, frames int) []*frame.Frame {
+	full := make([]*frame.Frame, frames)
+	parallelFor(frames, cfg.workerCount(), func(f int) error {
+		full[f] = v.RenderFrame(float64(start+f)/float64(v.FPS), cfg.Projection, cfg.FullW, cfg.FullH)
+		return nil
+	})
+	return full
+}
+
+// encodeOrigPayload encodes one segment's original stream into its wire
+// payload. Shared by batch ingest and the live producer, so live bytes are
+// byte-identical to a VOD ingest of the same spec.
+func encodeOrigPayload(v scene.VideoSpec, cfg IngestConfig, si int, full []*frame.Frame) ([]byte, error) {
+	origBits, err := codec.EncodeSequence(cfg.Codec, full)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding original segment %d of %s: %w", si, v.Name, err)
 	}
+	return marshalBitstream(origBits), nil
+}
+
+// Ingest runs the cloud pipeline for one video and fills the SAS store.
+func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, error) {
+	cfg = cfg.withTiledDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Live != nil {
+		return nil, fmt.Errorf("server: config has Live set; use NewLiveStream for live ingest")
+	}
+	man := baseManifest(v, cfg)
+	total, nSegs := segmentSpan(v, cfg)
 	vp := cfg.viewport()
 	ptCfg := pt.Config{Projection: cfg.Projection, Filter: pt.Bilinear, Viewport: vp}
 	var lut *ptlut.Renderer
@@ -323,19 +383,12 @@ func Ingest(v scene.VideoSpec, cfg IngestConfig, st *store.Store) (*Manifest, er
 		if start+frames > total {
 			frames = total - start
 		}
-		// Render the original segment once, fanning frames out across the
-		// worker pool (scene sampling is pure per frame).
-		full := make([]*frame.Frame, frames)
-		parallelFor(frames, cfg.workerCount(), func(f int) error {
-			full[f] = v.RenderFrame(float64(start+f)/float64(v.FPS), cfg.Projection, cfg.FullW, cfg.FullH)
-			return nil
-		})
-		// Encode and store the original segment.
-		origBits, err := codec.EncodeSequence(cfg.Codec, full)
+		// Render the original segment once, then encode and store it.
+		full := renderSegmentFrames(v, cfg, start, frames)
+		origPayload, err := encodeOrigPayload(v, cfg, si, full)
 		if err != nil {
-			return nil, fmt.Errorf("server: encoding original segment %d of %s: %w", si, v.Name, err)
+			return nil, err
 		}
-		origPayload := marshalBitstream(origBits)
 		if err := st.Put(origKey(v.Name, si), origPayload, nil); err != nil {
 			return nil, err
 		}

@@ -127,6 +127,8 @@ const (
 	promRespEntries   = "evr_respcache_entries"
 	promRespBytes     = "evr_respcache_bytes"
 	promThrottled     = "evr_http_throttled_total"
+	promTooEarly      = "evr_http_too_early_total"
+	promLiveBehind    = "evr_live_behind_seconds"
 )
 
 // newRespCache builds a cache with the given payload-byte budget, hanging
@@ -255,6 +257,31 @@ func (c *respCache) purgeVideo(video string) {
 	}
 	for key, fl := range c.flights {
 		if key.video == video {
+			fl.doomed = true
+		}
+	}
+	c.entriesG.Set(int64(c.order.Len()))
+	c.bytesG.Set(c.bytes)
+}
+
+// purgeSegment drops every cached payload of one (video, segment) and
+// dooms its in-flight loads — the live-publish counterpart of purgeVideo,
+// so a publish (or chaos republish) is immediately visible without
+// evicting the rest of the video.
+func (c *respCache) purgeSegment(video string, seg int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if node := el.Value.(*respNode); node.key.video == video && node.key.seg == seg {
+			c.order.Remove(el)
+			delete(c.items, node.key)
+			c.bytes -= int64(len(node.data))
+		}
+		el = next
+	}
+	for key, fl := range c.flights {
+		if key.video == video && key.seg == seg {
 			fl.doomed = true
 		}
 	}
