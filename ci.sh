@@ -47,6 +47,14 @@
 # stall SLOs met, and both runs producing identical fault schedules and
 # per-user checksums. The scenario JSON codec gets the same fuzz budget
 # as the other decoders.
+#
+# The SPORT gate (PR 10) runs the spherically-weighted rate-control +
+# truncation sweep in its CI-sized fast mode: `evrbench -sport-fast`
+# exits nonzero unless a latitude-aware pipeline matches the flat
+# pipeline's S-PSNR at strictly lower modeled energy under the same byte
+# ceiling. The codec rate controller joins the fuzz smokes, and the full
+# conformance run now also pins the viewport-weighted S-PSNR column of
+# every golden case.
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -59,11 +67,13 @@ go test ./internal/server -run='^$' -fuzz=FuzzManifestJSON -fuzztime=5s
 go test ./internal/headtrace -run='^$' -fuzz=FuzzHeadtraceCSV -fuzztime=5s
 go test ./internal/delivery -run='^$' -fuzz=FuzzUnmarshalTile -fuzztime=5s
 go test ./internal/chaos -run='^$' -fuzz=FuzzChaosScenario -fuzztime=5s
+go test ./internal/codec -run='^$' -fuzz=FuzzRateControllerObserve -fuzztime=5s
 go run ./cmd/evrconform -fast
 go run ./cmd/evrconform
 go run ./cmd/evrbench -lut -lut-width 256 -lut-frames 2 -users 2 -bench-out "${TMPDIR:-/tmp}/bench_lut_smoke.json"
 go run ./cmd/evrbench -bench-check "${TMPDIR:-/tmp}/bench_lut_smoke.json"
 go run ./cmd/evrbench -bench-check BENCH_evrbench.json
+go run ./cmd/evrbench -sport-fast
 go run ./cmd/evrload -shards 2 -zipf 1.1 -zipf-videos 2 -users 8 -passes 2 \
     -segments 1 -width 96 -viewport-scale 32 -kill-shard 0 -kill-pass 2 -verify-single
 go run ./cmd/evrload -shards 2 -users 6 -passes 1 -segments 2 -width 96 \

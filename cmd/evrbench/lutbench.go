@@ -42,6 +42,9 @@ type lutBenchReport struct {
 	// (delivery.Assemble). Absent in artifacts written before the tiled
 	// transport existed, so it stays optional.
 	TiledAssembly *tiledAssemblyBench `json:"tiled_assembly,omitempty"`
+	// SPORT summarizes the fast-mode spherical rate-control + truncation
+	// sweep. Absent in artifacts written before SPORT existed.
+	SPORT *sportBenchSection `json:"sport,omitempty"`
 }
 
 type lutBenchConfig struct {
@@ -179,6 +182,12 @@ func runLUTBench(outPath string, width, warmFrames, workers, users int, quantDeg
 	}
 	rep.TiledAssembly = ta
 
+	sp, err := sportSection()
+	if err != nil {
+		return err
+	}
+	rep.SPORT = sp
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -235,6 +244,10 @@ func printLUTBench(rep lutBenchReport, outPath string) {
 		fmt.Printf("  tiled assembly (%dx%d, %dx%d grid, %d visible tiles, low 1/%d): %.2f ms/frame (%.1f Mpix/s)\n",
 			ta.FullW, ta.FullH, ta.GridCols, ta.GridRows, ta.VisibleTiles, ta.LowDiv,
 			ta.MsPerFrame, ta.MegapixPerSec)
+	}
+	if sp := rep.SPORT; sp != nil {
+		fmt.Printf("  SPORT fast sweep: feasible=%v, %.2f → %.2f dB S-PSNR, %.1f%% PTE energy saved (%s)\n",
+			sp.Feasible, sp.FlatSPSNRdB, sp.BestSPSNRdB, 100*sp.EnergySavings, sp.BitwidthMap)
 	}
 	fmt.Printf("wrote %s\n", outPath)
 }
@@ -297,6 +310,9 @@ func checkLUTBench(path string) error {
 		if ta.VisibleTiles < 1 || ta.VisibleTiles > ta.GridCols*ta.GridRows {
 			fail("tiled_assembly visible_tiles %d outside [1,%d]", ta.VisibleTiles, ta.GridCols*ta.GridRows)
 		}
+	}
+	if sp := rep.SPORT; sp != nil {
+		checkSPORTSection(sp, fail)
 	}
 	if len(errs) > 0 {
 		for _, e := range errs {

@@ -20,6 +20,11 @@
 // rate over the head-trace corpus — and writes the measurements as JSON to
 // -bench-out (default BENCH_evrbench.json). -bench-check validates such a
 // file's schema without re-running, the cheap CI gate.
+//
+// With -sport (or -sport-fast for the CI-gate-sized search), evrbench runs
+// the spherically-weighted rate-control + truncation sweep and exits
+// nonzero unless a SPORT pipeline matches the flat pipeline's S-PSNR at
+// strictly lower modeled energy under the same byte ceiling.
 package main
 
 import (
@@ -55,9 +60,18 @@ func main() {
 	lutFrames := flag.Int("lut-frames", 8, "warm frames measured per -lut arm")
 	benchOut := flag.String("bench-out", "BENCH_evrbench.json", "output path for the -lut JSON report")
 	benchCheck := flag.String("bench-check", "", "validate the schema of an existing -lut JSON report and exit")
+	sport := flag.Bool("sport", false, "run the full SPORT sweep (spherical rate control + truncation); exits nonzero if no plan beats the flat pipeline")
+	sportFast := flag.Bool("sport-fast", false, "run the CI-gate-sized SPORT sweep instead of the full one")
 	flag.Parse()
 	if *benchCheck != "" {
 		if err := checkLUTBench(*benchCheck); err != nil {
+			fmt.Fprintf(os.Stderr, "evrbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sport || *sportFast {
+		if err := runSPORT(*sportFast); err != nil {
 			fmt.Fprintf(os.Stderr, "evrbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,90 @@
+package main
+
+// The -sport mode runs the spherically-weighted rate-control + truncation
+// sweep (internal/experiments.SPORT) and prints its table; the exit status
+// is the gate: a sweep that cannot find a plan matching the flat pipeline's
+// S-PSNR at strictly lower energy fails. The -lut artifact also embeds a
+// fast-mode summary so BENCH_evrbench.json records the SPORT outcome
+// alongside the hot-path numbers.
+
+import (
+	"fmt"
+
+	"evr/internal/experiments"
+)
+
+// sportBenchSection is the SPORT summary embedded in the -lut JSON artifact.
+type sportBenchSection struct {
+	Fast          bool    `json:"fast"`
+	Feasible      bool    `json:"feasible"`
+	BudgetBytes   int     `json:"budget_bytes"`
+	FlatSPSNRdB   float64 `json:"flat_spsnr_db"`
+	BestSPSNRdB   float64 `json:"best_spsnr_db"`
+	FlatEnergyJ   float64 `json:"flat_energy_j"`
+	BestEnergyJ   float64 `json:"best_energy_j"`
+	EnergySavings float64 `json:"energy_savings"` // 1 - best/flat
+	BitwidthMap   string  `json:"bitwidth_map"`
+	Codec         string  `json:"codec"`
+	PlansSearched int     `json:"plans_searched"`
+}
+
+// sportSection runs the fast sweep and summarizes it for the JSON artifact.
+func sportSection() (*sportBenchSection, error) {
+	r, err := experiments.SPORT(experiments.SPORTConfig{Fast: true})
+	if err != nil {
+		return nil, fmt.Errorf("sport sweep: %w", err)
+	}
+	s := &sportBenchSection{
+		Fast:        r.Fast,
+		Feasible:    r.Feasible,
+		BudgetBytes: r.BudgetBytes,
+		FlatSPSNRdB: r.Flat.SPSNR, BestSPSNRdB: r.Best.SPSNR,
+		FlatEnergyJ: r.Flat.EnergyJ, BestEnergyJ: r.Best.EnergyJ,
+		BitwidthMap:   r.Best.Plan.String(),
+		Codec:         r.Best.Codec,
+		PlansSearched: r.Plans,
+	}
+	if r.Flat.EnergyJ > 0 {
+		s.EnergySavings = 1 - r.Best.EnergyJ/r.Flat.EnergyJ
+	}
+	return s, nil
+}
+
+// runSPORT executes the sweep in the requested mode, prints the table, and
+// fails when no feasible plan beat the flat pipeline.
+func runSPORT(fast bool) error {
+	r, err := experiments.SPORT(experiments.SPORTConfig{Fast: fast})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.SPORTTable(r).String())
+	if !r.Feasible {
+		return fmt.Errorf("SPORT sweep found no plan matching the flat pipeline's %.2f dB at lower energy", r.TargetSPSNR)
+	}
+	return nil
+}
+
+// checkSPORTSection validates the embedded SPORT summary of a -lut artifact.
+func checkSPORTSection(s *sportBenchSection, fail func(format string, args ...any)) {
+	if !s.Feasible {
+		fail("sport.feasible is false")
+	}
+	if s.BudgetBytes <= 0 {
+		fail("sport.budget_bytes %d must be > 0", s.BudgetBytes)
+	}
+	if s.FlatSPSNRdB <= 0 || s.BestSPSNRdB < s.FlatSPSNRdB {
+		fail("sport S-PSNR pair (%g, %g) violates best ≥ flat > 0", s.FlatSPSNRdB, s.BestSPSNRdB)
+	}
+	if s.FlatEnergyJ <= 0 || s.BestEnergyJ <= 0 || s.BestEnergyJ >= s.FlatEnergyJ {
+		fail("sport energy pair (%g, %g) violates 0 < best < flat", s.FlatEnergyJ, s.BestEnergyJ)
+	}
+	if s.EnergySavings <= 0 || s.EnergySavings >= 1 {
+		fail("sport.energy_savings %g outside (0,1)", s.EnergySavings)
+	}
+	if s.BitwidthMap == "" || s.Codec == "" {
+		fail("sport is missing its bitwidth map or codec description")
+	}
+	if s.PlansSearched <= 0 {
+		fail("sport.plans_searched %d must be > 0", s.PlansSearched)
+	}
+}

@@ -106,8 +106,8 @@ func printReport(m *conformance.Manifest, full bool) {
 	if full {
 		fmt.Println()
 		for _, e := range m.Cases {
-			fmt.Printf("%-40s maxAbs %3d  MAE %-10g PSNR %6.2f  SSIM %.4f  diff %5.2f%%\n",
-				e.Name, e.MaxAbsErr, e.MAE, e.PSNR, e.SSIM, 100*e.DiffFrac)
+			fmt.Printf("%-40s maxAbs %3d  MAE %-10g PSNR %6.2f  S-PSNR %6.2f  SSIM %.4f  diff %5.2f%%\n",
+				e.Name, e.MaxAbsErr, e.MAE, e.PSNR, e.SPSNR, e.SSIM, 100*e.DiffFrac)
 		}
 	}
 	fmt.Println()

@@ -33,13 +33,17 @@ import (
 	"evr/internal/chaos"
 	"evr/internal/client"
 	"evr/internal/cluster"
+	"evr/internal/codec"
 	"evr/internal/conformance"
 	"evr/internal/core"
 	"evr/internal/delivery"
 	"evr/internal/experiments"
+	"evr/internal/fixed"
+	"evr/internal/frame"
 	"evr/internal/headtrace"
 	"evr/internal/hmd"
 	"evr/internal/loadgen"
+	"evr/internal/projection"
 	"evr/internal/pt"
 	"evr/internal/pte"
 	"evr/internal/ptlut"
@@ -412,6 +416,80 @@ func NewChaosEngine(sc *ChaosScenario) *ChaosEngine { return chaos.NewEngine(sc)
 func EvaluateChaos(sc *ChaosScenario, rep *LoadReport) ChaosGateResult {
 	return chaos.Evaluate(sc, rep)
 }
+
+// Spherically-weighted quality metrics and the SPORT optimizer (DESIGN.md
+// §16): solid-angle-aware scoring (S-PSNR, WS-PSNR), per-latitude-band codec
+// rate control, and latitude-region datapath truncation plans, plus the
+// sweep that searches them jointly against the flat pipeline.
+type (
+	// Frame is the RGB24 raster every render and codec path shares.
+	Frame = frame.Frame
+	// Projection identifies a panorama layout (ERP, CMP, EAC).
+	Projection = projection.Method
+	// WeightTable holds per-pixel solid-angle weights for one raster
+	// geometry, with weighted metrics and latitude-band error profiles.
+	WeightTable = quality.WeightTable
+	// FixedFormat is a PTE fixed-point format ([total bits, integer bits]).
+	FixedFormat = fixed.Format
+	// SphericalRateController runs one codec rate controller per latitude
+	// band, steering bytes toward the latitudes viewers actually see.
+	SphericalRateController = codec.SphericalRateController
+	// BandAllocation is one latitude band of a spherical byte split.
+	BandAllocation = codec.BandAllocation
+	// TruncationPlan maps |latitude| regions to datapath formats.
+	TruncationPlan = pte.TruncationPlan
+	// TruncationRegion is one region of a TruncationPlan.
+	TruncationRegion = pte.TruncationRegion
+	// SPORTConfig parameterizes the SPORT sweep.
+	SPORTConfig = experiments.SPORTConfig
+	// SPORTResult is the sweep outcome: flat vs best SPORT pipeline.
+	SPORTResult = experiments.SPORTResult
+)
+
+// Projection constants for the quality metrics and weight tables.
+const (
+	ERP = projection.ERP
+	CMP = projection.CMP
+	EAC = projection.EAC
+)
+
+// Q2810 is the paper's PTE design point, [28, 10].
+var Q2810 = fixed.Q2810
+
+// NewFrame allocates a w×h RGB frame.
+func NewFrame(w, h int) *Frame { return frame.New(w, h) }
+
+// SPSNR scores two equally-sized panoramas by sampling both at a uniform
+// sphere point set (the S-PSNR metric). Identical frames return +Inf.
+func SPSNR(m Projection, a, b *Frame) (float64, error) { return quality.SPSNR(m, a, b) }
+
+// WSPSNR scores two equally-sized panoramas with raster-cell solid-angle
+// weighting (the WS-PSNR metric).
+func WSPSNR(m Projection, a, b *Frame) (float64, error) { return quality.WSPSNR(m, a, b) }
+
+// SphericalWeights returns the cached solid-angle weight table of a w×h
+// panorama raster under the projection (read-only).
+func SphericalWeights(m Projection, w, h int) (*WeightTable, error) {
+	return quality.SphericalWeights(m, w, h)
+}
+
+// NewSphericalRateController builds a per-latitude-band rate controller for
+// h-row frames splitting targetBytes across bands (area-weighted when
+// weighted is true; weighted=false reproduces the flat controller per band).
+func NewSphericalRateController(h, bands, targetBytes, initialQ int, weighted bool) (*SphericalRateController, error) {
+	return codec.NewSphericalRateController(h, bands, targetBytes, initialQ, weighted)
+}
+
+// FlatTruncationPlan returns the single-region plan running the whole
+// datapath in f — the flat pipeline every SPORT plan is gated against.
+func FlatTruncationPlan(f FixedFormat) TruncationPlan { return pte.FlatPlan(f) }
+
+// RunSPORT executes the spherically-weighted rate-control + truncation
+// sweep; the result is deterministic for a given configuration.
+func RunSPORT(cfg SPORTConfig) (SPORTResult, error) { return experiments.SPORT(cfg) }
+
+// SPORTExperimentTable renders a sweep result as an experiment table.
+func SPORTExperimentTable(r SPORTResult) ExperimentTable { return experiments.SPORTTable(r) }
 
 // ExperimentTable is one regenerated paper table/figure.
 type ExperimentTable = experiments.Table

@@ -268,3 +268,61 @@ func TestPublicAPICluster(t *testing.T) {
 		t.Error("edge cache absorbed nothing across 3 users × 2 passes")
 	}
 }
+
+// TestPublicAPISpherical exercises the spherical-quality + SPORT surface:
+// weight tables, the weighted metrics, banded rate control, truncation
+// plans, and the fast sweep end to end.
+func TestPublicAPISpherical(t *testing.T) {
+	a, b := evr.NewFrame(96, 48), evr.NewFrame(96, 48)
+	for i := range b.Pix {
+		a.Pix[i] = byte(i)
+		b.Pix[i] = byte(i) + byte(i%3) // small skew so metrics are finite
+	}
+	sp, err := evr.SPSNR(evr.ERP, a, b)
+	if err != nil || sp <= 0 {
+		t.Fatalf("SPSNR = %v, %v", sp, err)
+	}
+	ws, err := evr.WSPSNR(evr.ERP, a, b)
+	if err != nil || ws <= 0 {
+		t.Fatalf("WSPSNR = %v, %v", ws, err)
+	}
+	wt, err := evr.SphericalWeights(evr.ERP, 96, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse, err := wt.WeightedMSE(a, b); err != nil || mse <= 0 {
+		t.Fatalf("WeightedMSE = %v, %v", mse, err)
+	}
+
+	rc, err := evr.NewSphericalRateController(48, 4, 4000, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.NumBands() != 4 {
+		t.Errorf("controller has %d bands", rc.NumBands())
+	}
+
+	plan := evr.FlatTruncationPlan(evr.Q2810)
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mixed := evr.TruncationPlan{Regions: []evr.TruncationRegion{
+		{MaxAbsLatDeg: 45, Format: evr.Q2810},
+		{MaxAbsLatDeg: 90, Format: evr.FixedFormat{TotalBits: 24, IntBits: 10}},
+	}}
+	if err := mixed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := evr.RunSPORT(evr.SPORTConfig{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Feasible {
+		t.Error("fast SPORT sweep infeasible through the facade")
+	}
+	tab := evr.SPORTExperimentTable(r)
+	if tab.ID != "SPORT" || len(tab.Rows) != 2 {
+		t.Errorf("SPORT table shape wrong: %q, %d rows", tab.ID, len(tab.Rows))
+	}
+}

@@ -1,0 +1,162 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the rate controller: the control loop must converge on
+// plausible rate curves, stay clamped under adversarial feedback, and never
+// leave [MinQ, MaxQ] or panic on garbage sizes (fuzzed below).
+
+// synthSize models a monotone rate curve: compressed size falls as the
+// quantizer coarsens, size(q) = base/q with mild deterministic jitter.
+func synthSize(base float64, q int, jitter float64, rng *rand.Rand) int {
+	s := base / float64(q)
+	if jitter > 0 {
+		s *= 1 + jitter*(2*rng.Float64()-1)
+	}
+	if s < 1 {
+		s = 1
+	}
+	return int(s)
+}
+
+// On a monotone size curve whose target is reachable, the controller must
+// settle inside the deadband and stay there.
+func TestRateControllerConvergesWithinDeadband(t *testing.T) {
+	cases := []struct {
+		name     string
+		base     float64
+		target   int
+		initialQ int
+	}{
+		{"from fine", 64000, 2000, 1},
+		{"from coarse", 64000, 2000, 60},
+		{"high rate", 640000, 40000, 8},
+		{"tight", 6400, 400, 32},
+	}
+	for _, c := range cases {
+		for _, jitter := range []float64{0, 0.02} {
+			rng := rand.New(rand.NewSource(42))
+			rc, err := NewRateController(c.target, c.initialQ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const frames = 200
+			settled := -1
+			minQ, maxQ := 65, 0
+			for i := 0; i < frames; i++ {
+				size := synthSize(c.base, rc.Quality(), jitter, rng)
+				ratio := float64(size) / float64(c.target)
+				inBand := ratio <= 1+rc.Deadband && ratio >= 1-rc.Deadband
+				if inBand && settled < 0 {
+					settled = i
+				}
+				if settled >= 0 && !inBand && jitter == 0 {
+					// On a noise-free monotone curve, once inside the
+					// deadband the controller must not oscillate out.
+					t.Fatalf("%s: left deadband at frame %d (ratio %.3f) after settling at %d",
+						c.name, i, ratio, settled)
+				}
+				if settled >= 0 {
+					if q := rc.Quality(); q < minQ {
+						minQ = q
+					} else if q > maxQ {
+						maxQ = q
+					}
+				}
+				rc.Observe(size)
+			}
+			if settled < 0 {
+				t.Errorf("%s jitter=%v: never entered deadband in %d frames", c.name, jitter, frames)
+				continue
+			}
+			if settled > 80 {
+				t.Errorf("%s jitter=%v: took %d frames to settle", c.name, jitter, settled)
+			}
+			// Mild jitter may graze the deadband edge, but the quantizer
+			// must hover: no more than a ±1 step band after settling.
+			if maxQ-minQ > 2 {
+				t.Errorf("%s jitter=%v: q oscillated across %d steps after settling", c.name, jitter, maxQ-minQ)
+			}
+		}
+	}
+}
+
+// Adversarial feedback — sizes unrelated to the quantizer — must clamp at
+// the extremes and never escape them.
+func TestRateControllerClampsUnderAdversarialFeedback(t *testing.T) {
+	rc, err := NewRateController(1000, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		rc.Observe(1 << 30) // always way oversized
+		if q := rc.Quality(); q < rc.MinQ || q > rc.MaxQ {
+			t.Fatalf("q=%d escaped [%d,%d]", q, rc.MinQ, rc.MaxQ)
+		}
+	}
+	if rc.Quality() != rc.MaxQ {
+		t.Errorf("persistent oversize should pin q at MaxQ, got %d", rc.Quality())
+	}
+	for i := 0; i < 100; i++ {
+		rc.Observe(0) // always undersized
+		if q := rc.Quality(); q < rc.MinQ || q > rc.MaxQ {
+			t.Fatalf("q=%d escaped [%d,%d]", q, rc.MinQ, rc.MaxQ)
+		}
+	}
+	if rc.Quality() != rc.MinQ {
+		t.Errorf("persistent undersize should pin q at MinQ, got %d", rc.Quality())
+	}
+	// Alternating extremes must stay clamped too.
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			rc.Observe(math.MaxInt64)
+		} else {
+			rc.Observe(-math.MaxInt64)
+		}
+		if q := rc.Quality(); q < rc.MinQ || q > rc.MaxQ {
+			t.Fatalf("q=%d escaped [%d,%d] under alternation", q, rc.MinQ, rc.MaxQ)
+		}
+	}
+}
+
+func TestRateControllerRejectsBadConstruction(t *testing.T) {
+	if _, err := NewRateController(0, 4); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := NewRateController(-5, 4); err == nil {
+		t.Error("negative target accepted")
+	}
+	if _, err := NewRateController(100, 0); err == nil {
+		t.Error("q below MinQ accepted")
+	}
+	if _, err := NewRateController(100, 65); err == nil {
+		t.Error("q above MaxQ accepted")
+	}
+}
+
+// FuzzRateControllerObserve drives the controller with arbitrary size
+// feedback (including negative and extreme values): the quantizer must
+// never leave [MinQ, MaxQ] and Observe must never panic.
+func FuzzRateControllerObserve(f *testing.F) {
+	f.Add(1000, 4, int64(500))
+	f.Add(1, 1, int64(-1))
+	f.Add(1000, 64, int64(math.MaxInt64))
+	f.Add(7, 32, int64(math.MinInt64))
+	f.Fuzz(func(t *testing.T, target, initialQ int, size int64) {
+		rc, err := NewRateController(target, initialQ)
+		if err != nil {
+			return // invalid construction is rejected, not fuzzed
+		}
+		for i := 0; i < 16; i++ {
+			rc.Observe(int(size))
+			if q := rc.Quality(); q < rc.MinQ || q > rc.MaxQ {
+				t.Fatalf("q=%d escaped [%d,%d] (target=%d size=%d)", q, rc.MinQ, rc.MaxQ, target, size)
+			}
+			size = size>>1 ^ int64(i)*7919 // vary the feedback deterministically
+		}
+	})
+}

@@ -276,6 +276,7 @@ type Metrics struct {
 	MaxAbsErr   int     // worst per-channel absolute error, [0, 255]
 	MAE         float64 // mean absolute per-channel error, normalized to [0, 1]
 	PSNR        float64 // dB, +Inf capped at 99
+	SPSNR       float64 // solid-angle-weighted viewport PSNR, dB, capped at 99
 	SSIM        float64
 	DiffFrac    float64 // fraction of pixels differing in any channel
 }
@@ -364,6 +365,21 @@ func measure(ref, fixed *frame.Frame) Metrics {
 		psnr = 99
 	}
 	m.PSNR = round6(psnr)
+	// Spherically-weighted viewport PSNR: each output pixel weighted by the
+	// solid angle its image-plane cell subtends, so corner pixels — which a
+	// viewer sees compressed — count for less. The corpus shares one FOV, so
+	// the table follows from the frame's own geometry.
+	wt := quality.ViewportWeights(projection.Viewport{
+		Width: ref.W, Height: ref.H, FOVX: fovRad, FOVY: fovRad,
+	})
+	spsnr, err := wt.WeightedPSNR(ref, fixed)
+	if err != nil { // unreachable: the table is built from ref's own dims
+		spsnr = 0
+	}
+	if math.IsInf(spsnr, 1) || spsnr > 99 {
+		spsnr = 99
+	}
+	m.SPSNR = round6(spsnr)
 	diff := 0
 	for p := 0; p < len(ref.Pix); p += 3 {
 		pixDiff := false

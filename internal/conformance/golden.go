@@ -18,6 +18,7 @@ import (
 type Budget struct {
 	MaxMAE      float64 `json:"maxMAE"`      // normalized mean abs error ceiling
 	MinPSNR     float64 `json:"minPSNR"`     // dB floor
+	MinSPSNR    float64 `json:"minSPSNR"`    // solid-angle-weighted viewport PSNR floor, dB
 	MinSSIM     float64 `json:"minSSIM"`     // structural similarity floor
 	MaxDiffFrac float64 `json:"maxDiffFrac"` // ceiling on fraction of differing pixels
 	MaxAbsErr   int     `json:"maxAbsErr"`   // worst single-channel error ceiling
@@ -47,11 +48,12 @@ func budgetFor(c Case) Budget {
 		// Measured worst cases: MAE 1.7e-4, PSNR 54.2 dB, maxAbs 3 away
 		// from boundaries; maxAbs 37 / PSNR 53.0 dB at boundary poses where
 		// CORDIC angle error crosses a stress-cap rim.
-		b := Budget{MaxMAE: 0.0005, MinPSNR: 48, MinSSIM: 0.995, MaxDiffFrac: 0.15, MaxAbsErr: 64}
+		b := Budget{MaxMAE: 0.0005, MinPSNR: 48, MinSPSNR: 48, MinSSIM: 0.995, MaxDiffFrac: 0.15, MaxAbsErr: 64}
 		switch c.Label {
 		case "pole", "seam", "edge":
 			b.MaxMAE = 0.0006
 			b.MinPSNR = 45
+			b.MinSPSNR = 45
 		}
 		return b
 	}
@@ -59,11 +61,12 @@ func budgetFor(c Case) Budget {
 	// boundaries; MAE 8.8e-4 / PSNR 34.7 dB / SSIM 0.991 at the ERP north
 	// pole, the single worst divergence of the [28, 10] datapath (still
 	// inside the paper's 1e-3 visually-lossless MAE threshold).
-	b := Budget{MaxMAE: 0.001, MinPSNR: 33, MinSSIM: 0.985, MaxDiffFrac: 0.03, MaxAbsErr: 255}
+	b := Budget{MaxMAE: 0.001, MinPSNR: 33, MinSPSNR: 33, MinSSIM: 0.985, MaxDiffFrac: 0.03, MaxAbsErr: 255}
 	switch c.Label {
 	case "pole", "seam", "edge":
 		b.MaxMAE = 0.0015
 		b.MinPSNR = 31
+		b.MinSPSNR = 31
 		b.MaxDiffFrac = 0.04
 	}
 	return b
@@ -84,6 +87,7 @@ type Entry struct {
 	MaxAbsErr   int        `json:"maxAbsErr"`
 	MAE         float64    `json:"mae"`
 	PSNR        float64    `json:"psnr"`
+	SPSNR       float64    `json:"spsnr"`
 	SSIM        float64    `json:"ssim"`
 	DiffFrac    float64    `json:"diffFrac"`
 	Budget      Budget     `json:"budget"`
@@ -121,6 +125,7 @@ func entryFor(r Result) Entry {
 		MaxAbsErr:   r.Metrics.MaxAbsErr,
 		MAE:         r.Metrics.MAE,
 		PSNR:        r.Metrics.PSNR,
+		SPSNR:       r.Metrics.SPSNR,
 		SSIM:        r.Metrics.SSIM,
 		DiffFrac:    r.Metrics.DiffFrac,
 		Budget:      budgetFor(r.Case),
@@ -213,10 +218,10 @@ func Compare(stored, fresh *Manifest) []string {
 			v = append(v, fmt.Sprintf("%s: pte checksum %s, golden %s", e.Name, e.PTEChecksum, g.PTEChecksum))
 		}
 		if g.MaxAbsErr != e.MaxAbsErr || g.MAE != e.MAE || g.PSNR != e.PSNR ||
-			g.SSIM != e.SSIM || g.DiffFrac != e.DiffFrac {
-			v = append(v, fmt.Sprintf("%s: metrics drifted: got {maxAbs %d mae %g psnr %g ssim %g diff %g}, golden {maxAbs %d mae %g psnr %g ssim %g diff %g}",
-				e.Name, e.MaxAbsErr, e.MAE, e.PSNR, e.SSIM, e.DiffFrac,
-				g.MaxAbsErr, g.MAE, g.PSNR, g.SSIM, g.DiffFrac))
+			g.SPSNR != e.SPSNR || g.SSIM != e.SSIM || g.DiffFrac != e.DiffFrac {
+			v = append(v, fmt.Sprintf("%s: metrics drifted: got {maxAbs %d mae %g psnr %g spsnr %g ssim %g diff %g}, golden {maxAbs %d mae %g psnr %g spsnr %g ssim %g diff %g}",
+				e.Name, e.MaxAbsErr, e.MAE, e.PSNR, e.SPSNR, e.SSIM, e.DiffFrac,
+				g.MaxAbsErr, g.MAE, g.PSNR, g.SPSNR, g.SSIM, g.DiffFrac))
 		}
 		v = append(v, budgetViolations(e)...)
 	}
@@ -239,6 +244,7 @@ func budgetViolations(e Entry) []string {
 		MaxAbsErr: e.MaxAbsErr,
 		MAE:       e.MAE,
 		PSNR:      e.PSNR,
+		SPSNR:     e.SPSNR,
 		SSIM:      e.SSIM,
 		DiffFrac:  e.DiffFrac,
 	})
@@ -266,19 +272,19 @@ func LUTQuantBudgetFor(filter pt.Filter, label string) Budget {
 		if label == "identity" {
 			// Grid pose: pose error zero, Q8 weights alone. Measured
 			// maxAbs 1, MAE 3.2e-5.
-			return Budget{MaxMAE: 0.0001, MinPSNR: 60, MinSSIM: 0.9999, MaxDiffFrac: 0.05, MaxAbsErr: 2}
+			return Budget{MaxMAE: 0.0001, MinPSNR: 60, MinSPSNR: 60, MinSSIM: 0.9999, MaxDiffFrac: 0.05, MaxAbsErr: 2}
 		}
 		// Measured worst: MAE 2.6e-3, PSNR 39.9 dB, SSIM 0.9956, 37% of
 		// pixels nudged, maxAbs 77 across a stress-cap rim.
-		return Budget{MaxMAE: 0.004, MinPSNR: 37, MinSSIM: 0.99, MaxDiffFrac: 0.55, MaxAbsErr: 120}
+		return Budget{MaxMAE: 0.004, MinPSNR: 37, MinSPSNR: 37, MinSSIM: 0.99, MaxDiffFrac: 0.55, MaxAbsErr: 120}
 	}
 	if label == "identity" {
 		// Grid pose, no weights: the table is the exact table, bit for bit.
-		return Budget{MaxMAE: 0, MinPSNR: 99, MinSSIM: 1, MaxDiffFrac: 0, MaxAbsErr: 0}
+		return Budget{MaxMAE: 0, MinPSNR: 99, MinSPSNR: 99, MinSSIM: 1, MaxDiffFrac: 0, MaxAbsErr: 0}
 	}
 	// Measured worst: MAE 3.0e-3, PSNR 28.9 dB, SSIM 0.980, 10.5% of pixels
 	// flipped to a neighboring texel; across a rim that is full contrast.
-	return Budget{MaxMAE: 0.0045, MinPSNR: 27, MinSSIM: 0.97, MaxDiffFrac: 0.16, MaxAbsErr: 255}
+	return Budget{MaxMAE: 0.0045, MinPSNR: 27, MinSPSNR: 27, MinSSIM: 0.97, MaxDiffFrac: 0.16, MaxAbsErr: 255}
 }
 
 // Violations checks measured divergence metrics against the budget,
@@ -291,6 +297,9 @@ func (b Budget) Violations(name string, m Metrics) []string {
 	}
 	if m.PSNR < b.MinPSNR {
 		v = append(v, fmt.Sprintf("%s: PSNR %g dB below floor %g dB", name, m.PSNR, b.MinPSNR))
+	}
+	if m.SPSNR < b.MinSPSNR {
+		v = append(v, fmt.Sprintf("%s: S-PSNR %g dB below floor %g dB", name, m.SPSNR, b.MinSPSNR))
 	}
 	if m.SSIM < b.MinSSIM {
 		v = append(v, fmt.Sprintf("%s: SSIM %g below floor %g", name, m.SSIM, b.MinSSIM))
@@ -329,13 +338,13 @@ func (m *Manifest) FormatTable() string {
 			worst[k] = e
 		}
 	}
-	out := fmt.Sprintf("%-12s %-9s %-28s %8s %10s %9s %8s %9s\n",
-		"projection", "filter", "worst case", "maxAbs", "MAE", "PSNR dB", "SSIM", "diff px")
+	out := fmt.Sprintf("%-12s %-9s %-28s %8s %10s %9s %10s %8s %9s\n",
+		"projection", "filter", "worst case", "maxAbs", "MAE", "PSNR dB", "S-PSNR dB", "SSIM", "diff px")
 	for _, k := range order {
 		e := worst[k]
-		out += fmt.Sprintf("%-12s %-9s %-28s %8d %10s %9.2f %8.4f %8.2f%%\n",
+		out += fmt.Sprintf("%-12s %-9s %-28s %8d %10s %9.2f %10.2f %8.4f %8.2f%%\n",
 			k.proj, k.filter, e.Name, e.MaxAbsErr,
-			strconv.FormatFloat(e.MAE, 'g', 4, 64), e.PSNR, e.SSIM, 100*e.DiffFrac)
+			strconv.FormatFloat(e.MAE, 'g', 4, 64), e.PSNR, e.SPSNR, e.SSIM, 100*e.DiffFrac)
 	}
 	return out
 }

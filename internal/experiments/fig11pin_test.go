@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"evr/internal/fixed"
+)
+
+// The Fig 11 sweep is the committed baseline the SPORT work re-scores, so
+// its output is pinned byte-for-byte: any drift in the fixed-point
+// datapath, the sweep scene, or the table formatting must be a conscious
+// decision, not an accident.
+func TestFig11GoldenPin(t *testing.T) {
+	want := [][]string{
+		{"24", "4.5e-01", "4.0e-01", "2.3e-01", "3.0e-04", "1.1e-03"},
+		{"28", "4.4e-01", "3.4e-01", "6.0e-02", "6.2e-05", "3.0e-04"},
+		{"32", "4.4e-01", "3.4e-01", "0.0e+00", "9.6e-06", "8.6e-05"},
+		{"40", "4.3e-01", "6.0e-02", "0.0e+00", "0.0e+00", "1.7e-06"},
+		{"48", "4.0e-01", "0.0e+00", "0.0e+00", "0.0e+00", "0.0e+00"},
+		{"56", "3.4e-01", "0.0e+00", "0.0e+00", "0.0e+00", "0.0e+00"},
+		{"64", "4.2e-01", "0.0e+00", "0.0e+00", "0.0e+00", "0.0e+00"},
+	}
+	tab := Fig11()
+	if len(tab.Rows) != len(want) {
+		t.Fatalf("Fig11 has %d rows, want %d", len(tab.Rows), len(want))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(want[i]) {
+			t.Fatalf("row %d has %d cells, want %d", i, len(row), len(want[i]))
+		}
+		for j, cell := range row {
+			if cell != want[i][j] {
+				t.Errorf("Fig11 row %d col %d = %q, want %q", i, j, cell, want[i][j])
+			}
+		}
+	}
+	wantNote := "[28, 10] measured MAE: 3.40e-05"
+	if got := tab.Notes[len(tab.Notes)-1]; got != wantNote {
+		t.Errorf("Fig11 design-point note = %q, want %q", got, wantNote)
+	}
+}
+
+// Fig11Point is the scalar the truncation work budgets against; pin it to
+// full printed precision.
+func TestFig11PointGoldenPin(t *testing.T) {
+	if got := fmt.Sprintf("%.6e", Fig11Point(fixed.Q2810)); got != "3.404139e-05" {
+		t.Errorf("Fig11Point(Q2810) = %s, want 3.404139e-05", got)
+	}
+	// An invalid format must degrade to +Inf, not panic.
+	if got := Fig11Point(fixed.Format{}); !math.IsInf(got, 1) {
+		t.Errorf("Fig11Point(zero format) = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,585 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"evr/internal/codec"
+	"evr/internal/energy"
+	"evr/internal/fixed"
+	"evr/internal/frame"
+	"evr/internal/geom"
+	"evr/internal/projection"
+	"evr/internal/pt"
+	"evr/internal/pte"
+	"evr/internal/quality"
+)
+
+// SPORT: spherically-weighted rate control + truncation (DESIGN.md §16).
+// The flat pipeline spends its two budgets uniformly over the ERP raster: a
+// single quantizer gives every raster row the same codec fidelity, and the
+// Fig 11 design point runs every output pixel at [28, 10]. Both budgets
+// ignore that a polar row covers a sliver of the viewing sphere. SPORT
+// re-spends both spherically: per-latitude-band quantizers chosen by
+// weighted distortion per byte under the *same* byte ceiling, and a
+// per-latitude-region truncation plan that converts the resulting S-PSNR
+// headroom into datapath energy. Feasibility means the SPORT pipeline
+// matches or beats the flat pipeline's S-PSNR at strictly lower modeled
+// energy and no more compressed bytes.
+
+// sportScene paints a sphere-continuous function into an ERP raster. The
+// θ-terms are cos-latitude damped so the content converges at the poles
+// (spherically honest), while a θ-independent "ring" term adds vertical
+// detail whose amplitude grows toward the poles: fine structure that costs
+// the codec real bytes but buys almost no solid-angle-weighted quality —
+// exactly the spend a spherical allocator harvests.
+func sportScene(w, h int) *frame.Frame {
+	f := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dir := projection.ToSphere(projection.ERP, (float64(x)+0.5)/float64(w), (float64(y)+0.5)/float64(h))
+			s := geom.FromCartesian(dir)
+			c := math.Cos(s.Phi)
+			base := 118 + 62*c*math.Sin(2*s.Theta) + 24*math.Sin(3*s.Phi)
+			ring := (20 + 65*(1-c)) * math.Sin(26*s.Phi)
+			f.Set(x, y,
+				sportClamp(base+ring),
+				sportClamp(base*0.8+30*c*math.Cos(s.Theta)+ring*0.7),
+				sportClamp(200-base*0.5+ring*0.5))
+		}
+	}
+	return f
+}
+
+func sportClamp(v float64) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v + 0.5)
+}
+
+// sportFrames yaw-rotates the scene by sportShift columns per frame, so the
+// codec sees pure rotation about the vertical axis.
+func sportFrames(w, h, n int) []*frame.Frame {
+	base := sportScene(w, h)
+	const sportShift = 3
+	out := make([]*frame.Frame, n)
+	for i := range out {
+		f := frame.New(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				r, g, b := base.At((x+i*sportShift)%w, y)
+				f.Set(x, y, r, g, b)
+			}
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// SPORTConfig parameterizes the sweep.
+type SPORTConfig struct {
+	// Fast shrinks the scene, view set, viewport, quantizer menu, and
+	// candidate formats to a CI-gate-sized search (same machinery).
+	Fast bool
+	// TargetSPSNR is the quality floor in dB a plan must hold. Zero means
+	// dominance mode: the floor is the flat pipeline's own S-PSNR, so a
+	// feasible plan is equal-or-better in quality AND cheaper in energy.
+	TargetSPSNR float64
+}
+
+// SPORTChoice is one scored pipeline configuration.
+type SPORTChoice struct {
+	Plan    pte.TruncationPlan
+	Codec   string  // codec leg: uniform quantizer or per-band quantizers
+	Bytes   int     // realized compressed bytes for the whole sequence
+	SPSNR   float64 // dB over views × frames, capped at 99 for exact
+	EnergyJ float64 // modeled PTE-core energy for one view set
+	DRAMJ   float64 // device DRAM energy for the traffic (plan-independent)
+}
+
+// SPORTResult is the outcome of the sweep.
+type SPORTResult struct {
+	Flat        SPORTChoice // flat pipeline: uniform quantizer + [28, 10]
+	Best        SPORTChoice // cheapest feasible SPORT pipeline (== Flat if none)
+	BudgetBytes int         // byte ceiling both codec legs encode under
+	TargetSPSNR float64     // resolved quality floor in dB
+	Feasible    bool        // a plan held the floor at strictly lower energy
+	Views       int
+	Frames      int
+	Plans       int // truncation plans searched
+	Fast        bool
+}
+
+// sportRegionBounds are the |latitude| region boundaries in degrees.
+var sportRegionBounds = []float64{40, 70, 90}
+
+// sportCandidates is the per-region format menu of the full sweep.
+var sportCandidates = []fixed.Format{
+	{TotalBits: 20, IntBits: 10},
+	{TotalBits: 22, IntBits: 10},
+	{TotalBits: 23, IntBits: 10},
+	{TotalBits: 24, IntBits: 10},
+	{TotalBits: 25, IntBits: 10},
+	{TotalBits: 26, IntBits: 10},
+	{TotalBits: 27, IntBits: 10},
+	{TotalBits: 28, IntBits: 10},
+	{TotalBits: 29, IntBits: 10},
+	{TotalBits: 30, IntBits: 10},
+	{TotalBits: 32, IntBits: 12},
+}
+
+// sportCandidatesFast is the CI-gate menu.
+var sportCandidatesFast = []fixed.Format{
+	{TotalBits: 20, IntBits: 10},
+	{TotalBits: 22, IntBits: 10},
+	{TotalBits: 23, IntBits: 10},
+	{TotalBits: 24, IntBits: 10},
+	{TotalBits: 26, IntBits: 10},
+	{TotalBits: 28, IntBits: 10},
+	{TotalBits: 30, IntBits: 10},
+}
+
+// sportFlatQ is the uniform quantizer of the flat codec leg; its realized
+// bytes define the byte ceiling both legs encode under.
+const sportFlatQ = 12
+
+// sportQMenu is the quantizer menu of the two-pass spherical allocator.
+var sportQMenu = []int{1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 17, 20, 24, 28, 33, 40, 48, 56, 64}
+
+var sportQMenuFast = []int{1, 2, 3, 4, 6, 8, 10, 12, 14, 16, 20, 24, 32, 48, 64}
+
+// sportBandsPerProfile is the latitude resolution of the per-view error
+// profiles; region bounds must be multiples of 180/sportBandsPerProfile.
+const sportBandsPerProfile = 180
+
+// sportAllocate runs the two-pass spherical allocator: probe each latitude
+// band's rate-distortion curve over the quantizer menu (all-intra, weighted
+// SSE under the per-row weights rowW — the solid-angle weight the
+// evaluation view set actually places on each panorama row), then greedily
+// refine whichever band buys the most weighted distortion per byte until
+// the byte ceiling is reached. Returns the chosen per-band quantizers.
+func sportAllocate(cfg codec.Config, frames []*frame.Frame, bands, budget int, menu []int, rowW []float64) ([]int, error) {
+	w, h := frames[0].W, frames[0].H
+	if len(rowW) != h {
+		return nil, fmt.Errorf("experiments: %d row weights for %d rows", len(rowW), h)
+	}
+	alloc, err := codec.SphericalAllocate(h, bands, bands, true)
+	if err != nil {
+		return nil, err
+	}
+	bytesOf := make([][]int, bands)   // [band][menu index] sequence bytes
+	sseOf := make([][]float64, bands) // [band][menu index] weighted SSE
+	for b, band := range alloc {
+		bytesOf[b] = make([]int, len(menu))
+		sseOf[b] = make([]float64, len(menu))
+		for qi, q := range menu {
+			// Probe the band alone: its rows as a standalone strip sequence
+			// (zero-copy, rows are contiguous), encoded at this quantizer.
+			c := cfg
+			c.Quality = q
+			strips := make([]*frame.Frame, len(frames))
+			for j, f := range frames {
+				strips[j] = &frame.Frame{W: w, H: band.Y1 - band.Y0, Pix: f.Pix[band.Y0*w*3 : band.Y1*w*3]}
+			}
+			bs, err := codec.EncodeSequence(c, strips)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: probe band %d q=%d: %w", b, q, err)
+			}
+			dec, err := codec.DecodeSequence(bs)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: probe band %d q=%d: %w", b, q, err)
+			}
+			bytesOf[b][qi] = bs.TotalBytes()
+			var sse float64
+			for j, d := range dec {
+				for y := band.Y0; y < band.Y1; y++ {
+					for x := 0; x < w; x++ {
+						ar, ag, ab := frames[j].At(x, y)
+						dr, dg, db := d.At(x, y-band.Y0)
+						er, eg, eb := float64(ar)-float64(dr), float64(ag)-float64(dg), float64(ab)-float64(db)
+						sse += rowW[y] * (er*er + eg*eg + eb*eb)
+					}
+				}
+			}
+			sseOf[b][qi] = sse
+		}
+	}
+	// Greedy refinement from the coarsest end of the menu.
+	pick := make([]int, bands)
+	total := 0
+	for b := range pick {
+		pick[b] = len(menu) - 1
+		total += bytesOf[b][pick[b]]
+	}
+	if total > budget {
+		return nil, fmt.Errorf("experiments: coarsest allocation %d B exceeds budget %d B", total, budget)
+	}
+	for {
+		best, bestRatio := -1, 0.0
+		for b := range pick {
+			if pick[b] == 0 {
+				continue
+			}
+			db := bytesOf[b][pick[b]-1] - bytesOf[b][pick[b]]
+			if total+db > budget {
+				continue
+			}
+			if db < 1 {
+				db = 1
+			}
+			dsse := sseOf[b][pick[b]] - sseOf[b][pick[b]-1]
+			if ratio := dsse / float64(db); ratio > bestRatio {
+				best, bestRatio = b, ratio
+			}
+		}
+		if best < 0 {
+			break
+		}
+		total += bytesOf[best][pick[best]-1] - bytesOf[best][pick[best]]
+		pick[best]--
+	}
+	qs := make([]int, bands)
+	for b := range qs {
+		qs[b] = menu[pick[b]]
+	}
+	return qs, nil
+}
+
+// SPORT runs the spherically-weighted pipeline sweep and returns the flat
+// design point, the best feasible SPORT configuration, and whether the
+// search beat the flat choice. The sweep is fully deterministic.
+func SPORT(cfg SPORTConfig) (SPORTResult, error) {
+	fullW, fullH, nFrames, bands := 192, 96, 8, 6
+	views := quality.DefaultViews()
+	cands := sportCandidates
+	menu := sportQMenu
+	vpSize := 48
+	if cfg.Fast {
+		nFrames, bands = 6, 6
+		// Same equator:pole mix as quality.DefaultViews (1 in 4 polar).
+		views = []geom.Orientation{
+			{Yaw: 0}, {Yaw: math.Pi / 2}, {Yaw: math.Pi},
+			{Pitch: math.Pi / 2},
+		}
+		cands = sportCandidatesFast
+		menu = sportQMenuFast
+		vpSize = 32
+	}
+	frames := sportFrames(fullW, fullH, nFrames)
+	vp := projection.Viewport{Width: vpSize, Height: vpSize, FOVX: geom.Radians(100), FOVY: geom.Radians(100)}
+	vw := quality.ViewportWeights(vp)
+
+	// The view set's latitude weight profile, from viewport geometry alone:
+	// how much solid-angle weight the evaluation views place on each
+	// latitude band. The allocator optimizes exactly the weighting the
+	// sweep scores with, projected onto panorama rows.
+	latW := make([]float64, sportBandsPerProfile)
+	for _, o := range views {
+		for j := 0; j < vp.Height; j++ {
+			for i := 0; i < vp.Width; i++ {
+				lat := geom.FromCartesian(vp.Ray(o, i, j)).Phi
+				b := int((lat/math.Pi + 0.5) * sportBandsPerProfile)
+				if b >= sportBandsPerProfile {
+					b = sportBandsPerProfile - 1
+				}
+				latW[b] += vw.Weights[j*vp.Width+i]
+			}
+		}
+	}
+	rowW := make([]float64, fullH)
+	{
+		rowBand := make([]int, fullH)
+		rowsIn := make([]int, sportBandsPerProfile)
+		for y := 0; y < fullH; y++ {
+			lat := math.Pi/2 - math.Pi*(float64(y)+0.5)/float64(fullH)
+			b := int((lat/math.Pi + 0.5) * sportBandsPerProfile)
+			if b >= sportBandsPerProfile {
+				b = sportBandsPerProfile - 1
+			}
+			rowBand[y] = b
+			rowsIn[b]++
+		}
+		for y := 0; y < fullH; y++ {
+			if n := rowsIn[rowBand[y]]; n > 0 {
+				rowW[y] = latW[rowBand[y]] / (float64(n) * float64(fullW))
+			}
+		}
+	}
+
+	ccfg := codec.DefaultConfig()
+	ccfg.GOP = 1 // all-intra: per-frame sizes are stable, budgets exact
+
+	// Codec legs. The flat leg's realized bytes are the ceiling; the
+	// spherical allocator must fit under it.
+	ccfg.Quality = sportFlatQ
+	flatBS, err := codec.EncodeSequence(ccfg, frames)
+	if err != nil {
+		return SPORTResult{}, err
+	}
+	budget := flatBS.TotalBytes()
+	flatDec, err := codec.DecodeSequence(flatBS)
+	if err != nil {
+		return SPORTResult{}, err
+	}
+	qs, err := sportAllocate(ccfg, frames, bands, budget, menu, rowW)
+	if err != nil {
+		return SPORTResult{}, err
+	}
+	bb, err := codec.EncodeSequenceSphericalQ(ccfg, frames, qs)
+	if err != nil {
+		return SPORTResult{}, err
+	}
+	if bb.TotalBytes() > budget {
+		return SPORTResult{}, fmt.Errorf("experiments: spherical leg %d B exceeds ceiling %d B", bb.TotalBytes(), budget)
+	}
+	sportDec, err := bb.Decode()
+	if err != nil {
+		return SPORTResult{}, err
+	}
+
+	ecfg := pte.DefaultConfig(projection.ERP, pt.Bilinear, vp)
+	regions := len(sportRegionBounds)
+
+	// Accumulate, from per-view latitude-band error profiles
+	// (quality.WeightTable.BandProfile), the weighted squared error each
+	// candidate format incurs in each latitude region when rendering the
+	// spherically-coded frames, plus the flat pipeline's error ([28, 10]
+	// over the uniformly-coded frames). The reference is the float render
+	// of the pristine panorama. Because the PTE datapath is purely
+	// per-pixel, any plan's weighted error is then an exact table sum —
+	// the search never re-renders.
+	wSSE := make([][]float64, regions) // [region][candidate], SPORT leg
+	for r := range wSSE {
+		wSSE[r] = make([]float64, len(cands))
+	}
+	flatSSE := 0.0 // flat leg at [28, 10]
+	wSum := make([]float64, regions)
+	shares := make([][]float64, len(views)) // [view][region] pixel share
+	bandRegion := make([]int, sportBandsPerProfile)
+	for b := range bandRegion {
+		lat := math.Abs(-90 + 180*(float64(b)+0.5)/sportBandsPerProfile)
+		r := 0
+		for lat > sportRegionBounds[r] {
+			r++
+		}
+		bandRegion[b] = r
+	}
+	engines := make([]*pte.Engine, len(cands))
+	flatIdx := -1
+	for i, f := range cands {
+		c := ecfg
+		c.Format = f
+		eng, err := pte.New(c)
+		if err != nil {
+			return SPORTResult{}, fmt.Errorf("experiments: candidate %v: %w", f, err)
+		}
+		engines[i] = eng
+		if f == fixed.Q2810 {
+			flatIdx = i
+		}
+	}
+	if flatIdx < 0 {
+		return SPORTResult{}, fmt.Errorf("experiments: candidate set must include %v", fixed.Q2810)
+	}
+	ptCfg := pt.Config{Projection: projection.ERP, Filter: pt.Bilinear, Viewport: vp}
+	for v, o := range views {
+		// A viewport weight table with per-pixel latitudes for this view:
+		// solid angles from the image plane, latitude from the view ray.
+		tab := &quality.WeightTable{W: vp.Width, H: vp.Height, Weights: vw.Weights, Sum: vw.Sum,
+			Lat: make([]float64, vp.Pixels())}
+		for j := 0; j < vp.Height; j++ {
+			for i := 0; i < vp.Width; i++ {
+				tab.Lat[j*vp.Width+i] = geom.FromCartesian(vp.Ray(o, i, j)).Phi
+			}
+		}
+		shares[v] = make([]float64, regions)
+		for k := range frames {
+			ref := pt.Render(ptCfg, frames[k], o)
+			flatOut := engines[flatIdx].Render(flatDec[k], o)
+			prof, err := tab.BandProfile(ref, flatOut, sportBandsPerProfile)
+			if err != nil {
+				return SPORTResult{}, fmt.Errorf("experiments: view %d flat profile: %w", v, err)
+			}
+			for b, be := range prof {
+				flatSSE += be.MSE * 3 * be.Weight
+				if k == 0 {
+					wSum[bandRegion[b]] += be.Weight * float64(nFrames)
+					shares[v][bandRegion[b]] += float64(be.Pixels) / float64(vp.Pixels())
+				}
+			}
+			for ci, eng := range engines {
+				out := eng.Render(sportDec[k], o)
+				prof, err := tab.BandProfile(ref, out, sportBandsPerProfile)
+				if err != nil {
+					return SPORTResult{}, fmt.Errorf("experiments: view %d profile: %w", v, err)
+				}
+				for b, be := range prof {
+					wSSE[bandRegion[b]][ci] += be.MSE * 3 * be.Weight
+				}
+			}
+		}
+	}
+	totalW := 0.0
+	for _, w := range wSum {
+		totalW += w
+	}
+
+	// DRAM traffic is plan-independent (same reads, same writes); charge
+	// it once via the device model so reported energy covers the memory
+	// system too.
+	var dram float64
+	{
+		dev := energy.TX2()
+		_, rd, wr := ecfg.FrameWork(fullW, fullH)
+		var led energy.Ledger
+		led.Add(energy.Memory, float64(rd+wr)*float64(len(views))*dev.DRAMJPerByte)
+		dram = led.Joules(energy.Memory)
+	}
+
+	spsnrOf := func(sse float64) float64 {
+		mse := sse / 3 / totalW
+		if mse <= 0 {
+			return 99
+		}
+		s := 10 * math.Log10(255*255/mse)
+		if s > 99 {
+			s = 99
+		}
+		return s
+	}
+	planEnergy := func(plan pte.TruncationPlan) (float64, error) {
+		var e float64
+		for v := range views {
+			ev, err := plan.PlanFrameEnergyJ(ecfg, fullW, fullH, shares[v])
+			if err != nil {
+				return 0, err
+			}
+			e += ev
+		}
+		return e, nil
+	}
+	mkPlan := func(pick []int) pte.TruncationPlan {
+		var p pte.TruncationPlan
+		for r, ci := range pick {
+			p.Regions = append(p.Regions, pte.TruncationRegion{
+				MaxAbsLatDeg: sportRegionBounds[r], Format: cands[ci],
+			})
+		}
+		return p
+	}
+
+	flatPlan := pte.FlatPlan(fixed.Q2810)
+	var flatEnergy float64
+	for range views {
+		ev, err := flatPlan.PlanFrameEnergyJ(ecfg, fullW, fullH, []float64{1})
+		if err != nil {
+			return SPORTResult{}, err
+		}
+		flatEnergy += ev
+	}
+	flat := SPORTChoice{
+		Plan:    flatPlan,
+		Codec:   fmt.Sprintf("uniform q=%d", sportFlatQ),
+		Bytes:   budget,
+		SPSNR:   spsnrOf(flatSSE),
+		EnergyJ: flatEnergy,
+		DRAMJ:   dram,
+	}
+
+	target := cfg.TargetSPSNR
+	if target == 0 {
+		target = flat.SPSNR
+	}
+	res := SPORTResult{
+		Flat: flat, Best: flat, BudgetBytes: budget, TargetSPSNR: target,
+		Views: len(views), Frames: nFrames, Fast: cfg.Fast,
+	}
+	sportCodec := fmt.Sprintf("%d bands q=%v", bands, qs)
+
+	// Exhaustive search: |candidates|^regions plans, each a table sum.
+	pick := make([]int, regions)
+	for {
+		res.Plans++
+		sse := 0.0
+		for r, ci := range pick {
+			sse += wSSE[r][ci]
+		}
+		spsnr := spsnrOf(sse)
+		if spsnr >= target-1e-9 {
+			plan := mkPlan(pick)
+			e, err := planEnergy(plan)
+			if err != nil {
+				return SPORTResult{}, err
+			}
+			if e < flat.EnergyJ*(1-1e-12) {
+				better := !res.Feasible ||
+					e < res.Best.EnergyJ ||
+					(e == res.Best.EnergyJ && spsnr > res.Best.SPSNR)
+				if better {
+					res.Best = SPORTChoice{
+						Plan: plan, Codec: sportCodec, Bytes: bb.TotalBytes(),
+						SPSNR: spsnr, EnergyJ: e, DRAMJ: dram,
+					}
+					res.Feasible = true
+				}
+			}
+		}
+		// Odometer increment.
+		i := regions - 1
+		for ; i >= 0; i-- {
+			pick[i]++
+			if pick[i] < len(cands) {
+				break
+			}
+			pick[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// SPORTTable renders a sweep result as an experiment table for
+// EXPERIMENTS.md and the evrbench report.
+func SPORTTable(r SPORTResult) Table {
+	mode := "full"
+	if r.Fast {
+		mode = "fast"
+	}
+	feas := "no feasible plan beat the flat pipeline"
+	if r.Feasible {
+		feas = fmt.Sprintf("SPORT saves %.1f%% PTE-core energy at equal-or-better S-PSNR and no more bytes",
+			100*(1-r.Best.EnergyJ/r.Flat.EnergyJ))
+	}
+	row := func(name string, c SPORTChoice) []string {
+		return []string{
+			name,
+			c.Codec,
+			fmt.Sprintf("%d", c.Bytes),
+			c.Plan.String(),
+			fmt.Sprintf("%.2f", c.SPSNR),
+			fmt.Sprintf("%.3f", c.EnergyJ*1e3),
+			fmt.Sprintf("%.3f", (c.EnergyJ+c.DRAMJ)*1e3),
+		}
+	}
+	return Table{
+		ID:     "SPORT",
+		Title:  "Spherically-weighted rate control + truncation vs the flat pipeline",
+		Header: []string{"pipeline", "codec", "bytes", "bitwidth map", "S-PSNR (dB)", "PTE mJ/view-set", "+DRAM mJ"},
+		Rows: [][]string{
+			row("flat", r.Flat),
+			row("SPORT", r.Best),
+		},
+		Notes: []string{
+			fmt.Sprintf("%s sweep: %d views × %d frames, %d plans searched, byte ceiling %d B, S-PSNR target %.2f dB",
+				mode, r.Views, r.Frames, r.Plans, r.BudgetBytes, r.TargetSPSNR),
+			"both codec legs are all-intra under the same byte ceiling; the spherical leg re-spends it by weighted distortion per byte",
+			feas,
+		},
+	}
+}

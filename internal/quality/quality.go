@@ -22,16 +22,31 @@ import (
 
 // SSIM computes the mean structural similarity index over the luma channel
 // using the standard 8×8 windows and K1=0.01, K2=0.03 constants. Identical
-// frames score 1.
+// frames score 1. Mismatched dimensions return NaN (scores are undefined
+// across geometries); library callers that want the reason should use
+// SSIMChecked.
 func SSIM(a, b *frame.Frame) float64 {
+	s, err := SSIMChecked(a, b)
+	if err != nil {
+		return math.NaN()
+	}
+	return s
+}
+
+// SSIMChecked is SSIM with an explicit error for mismatched dimensions
+// instead of the NaN sentinel.
+func SSIMChecked(a, b *frame.Frame) (float64, error) {
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("quality: nil frame")
+	}
 	if a.W != b.W || a.H != b.H {
-		panic(fmt.Sprintf("quality: SSIM dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+		return 0, fmt.Errorf("quality: SSIM dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
 	}
 	const win = 8
 	const c1 = (0.01 * 255) * (0.01 * 255)
 	const c2 = (0.03 * 255) * (0.03 * 255)
 	if a.W < win || a.H < win {
-		return 1 // degenerate frames compare as identical structure
+		return 1, nil // degenerate frames compare as identical structure
 	}
 	var sum float64
 	n := 0
@@ -64,7 +79,7 @@ func SSIM(a, b *frame.Frame) float64 {
 			n++
 		}
 	}
-	return sum / float64(n)
+	return sum / float64(n), nil
 }
 
 // ViewScore is the metric pair for one assessed perspective.
@@ -113,8 +128,33 @@ func NewAssessor(m projection.Method, outW, outH int) Assessor {
 	}
 }
 
-// Assess scores a distorted panoramic frame against the reference one.
+// Assess scores a distorted panoramic frame against the reference one. A
+// reference/distorted geometry mismatch returns the zero Report; use
+// AssessChecked when the caller needs the reason.
 func (a Assessor) Assess(ref, distorted *frame.Frame) Report {
+	rep, err := a.AssessChecked(ref, distorted)
+	if err != nil {
+		return Report{}
+	}
+	return rep
+}
+
+// AssessChecked scores a distorted panoramic frame against the reference
+// one, rejecting mismatched inputs instead of silently scoring frames from
+// different geometries against each other (both rasters render to the same
+// viewport, so a mismatch would otherwise produce plausible-looking garbage
+// scores).
+func (a Assessor) AssessChecked(ref, distorted *frame.Frame) (Report, error) {
+	if ref == nil || distorted == nil {
+		return Report{}, fmt.Errorf("quality: nil frame")
+	}
+	if ref.W != distorted.W || ref.H != distorted.H {
+		return Report{}, fmt.Errorf("quality: assess dimension mismatch %dx%d vs %dx%d",
+			ref.W, ref.H, distorted.W, distorted.H)
+	}
+	if len(a.Views) == 0 {
+		return Report{}, fmt.Errorf("quality: assessor has no views")
+	}
 	var rep Report
 	for _, view := range a.Views {
 		// The parallel renderer is byte-identical to the serial reference,
@@ -133,7 +173,7 @@ func (a Assessor) Assess(ref, distorted *frame.Frame) Report {
 	n := float64(len(rep.Views))
 	rep.MeanPSNR /= n
 	rep.MeanSSIM /= n
-	return rep
+	return rep, nil
 }
 
 // PipelineEnergy models the per-frame energy of the real-time assessment

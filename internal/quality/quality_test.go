@@ -52,13 +52,48 @@ func clampAdd(b byte, d int) byte {
 	return byte(v)
 }
 
-func TestSSIMPanicsOnMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("dimension mismatch accepted")
+// Library-facing metric entry points must reject bad inputs with a status
+// (error or the documented NaN sentinel), never a panic: the assessment
+// pipeline runs on server ingest paths where a malformed upload must not
+// take the process down.
+func TestMetricStatusOnBadInput(t *testing.T) {
+	a8 := frame.New(8, 8)
+	a16 := frame.New(16, 16)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"SSIMChecked mismatch", func() error { _, err := SSIMChecked(a8, a16); return err }},
+		{"SSIMChecked nil", func() error { _, err := SSIMChecked(nil, a8); return err }},
+		{"AssessChecked mismatch", func() error {
+			_, err := NewAssessor(projection.ERP, 16, 16).AssessChecked(a16, a8)
+			return err
+		}},
+		{"AssessChecked nil", func() error {
+			_, err := NewAssessor(projection.ERP, 16, 16).AssessChecked(nil, a8)
+			return err
+		}},
+		{"AssessChecked no views", func() error {
+			_, err := Assessor{}.AssessChecked(a8, a8.Clone())
+			return err
+		}},
+		{"WSPSNR mismatch", func() error { _, err := WSPSNR(projection.ERP, a8, a16); return err }},
+		{"SPSNR mismatch", func() error { _, err := SPSNR(projection.ERP, a8, a16); return err }},
+		{"SPSNR no samples", func() error { _, err := SPSNRSampled(projection.ERP, a8, a8, 0); return err }},
+		{"SphericalWeights bad dims", func() error { _, err := SphericalWeights(projection.ERP, 0, 8); return err }},
+		{"SphericalWeights bad layout", func() error { _, err := SphericalWeights(projection.CMP, 8, 8); return err }},
+	}
+	for _, c := range cases {
+		if err := c.err(); err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
 		}
-	}()
-	SSIM(frame.New(8, 8), frame.New(16, 16))
+	}
+	if got := SSIM(a8, a16); !math.IsNaN(got) {
+		t.Errorf("SSIM on mismatched dims = %v, want NaN", got)
+	}
+	if rep := (Assessor{}).Assess(a8, a8.Clone()); len(rep.Views) != 0 {
+		t.Errorf("Assess on invalid assessor returned views: %+v", rep)
+	}
 }
 
 func TestSSIMTinyFrames(t *testing.T) {
